@@ -1,0 +1,81 @@
+// Command taser-bench regenerates the paper's tables and figures against the
+// synthetic datasets. Each experiment prints a plain-text table; see
+// EXPERIMENTS.md for recorded runs and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	taser-bench -exp table1 [-scale 0.25] [-epochs 6] [-datasets wikipedia,reddit]
+//	taser-bench -exp all
+//
+// Experiments: table1, table2, table3, fig1, fig3a, fig3b, fig4,
+// ablation-encoder, ablation-decoder, ablation-cache, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taser/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|all)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale multiplier")
+		epochs    = flag.Int("epochs", 6, "training epochs for accuracy experiments")
+		hidden    = flag.Int("hidden", 24, "hidden dimension")
+		batch     = flag.Int("batch", 150, "batch size (positive edges)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		evalEdges = flag.Int("eval-edges", 300, "max edges per MRR evaluation")
+		dsNames   = flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Out: os.Stdout, Scale: *scale, Epochs: *epochs, Hidden: *hidden,
+		BatchSize: *batch, Seed: *seed, MaxEvalEdges: *evalEdges,
+	}
+	if *dsNames != "" {
+		opts.Datasets = strings.Split(*dsNames, ",")
+	}
+
+	experiments := map[string]func(bench.Options) error{
+		"table1":              bench.Table1,
+		"table2":              bench.Table2,
+		"table3":              bench.Table3,
+		"fig1":                bench.Fig1,
+		"fig3a":               bench.Fig3a,
+		"fig3b":               bench.Fig3b,
+		"fig4":                bench.Fig4,
+		"ablation-encoder":    bench.AblationEncoder,
+		"ablation-decoder":    bench.AblationDecoder,
+		"ablation-cache":      bench.AblationCache,
+		"ablation-heuristics": bench.AblationHeuristics,
+	}
+	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
+		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics"}
+
+	run := func(name string) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := experiments[name](opts); err != nil {
+			fmt.Fprintf(os.Stderr, "taser-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *exp == "all":
+		for _, name := range order {
+			run(name)
+		}
+	case experiments[*exp] != nil:
+		run(*exp)
+	default:
+		fmt.Fprintf(os.Stderr, "taser-bench: unknown experiment %q\nknown: %s, all\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+}

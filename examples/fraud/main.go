@@ -1,0 +1,63 @@
+// Fraud detection on a transaction graph: one of the motivating applications
+// in the paper's introduction. We build a GDELT-style general graph (node
+// and edge features, strong drift) where "fraudulent" interactions are the
+// generator's ground-truth noise edges, train TASER, and show that
+// (a) the adaptive mini-batch selector assigns lower importance to noise
+// edges, and (b) the trained model separates clean from noisy interactions
+// by predicted link probability.
+//
+// Run with:
+//
+//	go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+
+	"taser/internal/adaptive"
+	"taser/internal/datasets"
+	"taser/internal/stats"
+	"taser/internal/train"
+)
+
+func main() {
+	ds := datasets.GDELT(0.15, 3)
+	fmt.Println(ds)
+
+	tr, err := train.New(train.Config{
+		Model:  train.ModelGraphMixer, // cheap single-hop backbone
+		Epochs: 5, Hidden: 24, BatchSize: 150, LR: 3e-3,
+		AdaBatch: true, AdaNeighbor: true, Decoder: adaptive.DecoderLinear,
+		CacheRatio: 0.2, MaxEvalEdges: 200, Seed: 11,
+	}, ds)
+	if err != nil {
+		panic(err)
+	}
+	for e := 0; e < tr.Cfg.Epochs; e++ {
+		res := tr.TrainEpoch()
+		fmt.Printf("epoch %d loss=%.4f\n", e+1, res.MeanLoss)
+	}
+
+	// The importance scores P (Eq. 11) double as an unsupervised noise
+	// signal: confidently predicted edges score near 1+γ, noise edges near γ.
+	var clean, noisy stats.Welford
+	for e := 0; e < ds.TrainEnd; e++ {
+		score := tr.Selector.Score(e)
+		if score == 1 {
+			continue // never visited
+		}
+		if ds.Noise[e] {
+			noisy.Add(score)
+		} else {
+			clean.Add(score)
+		}
+	}
+	fmt.Printf("\nimportance score P(e) — clean edges: %s\n", clean.String())
+	fmt.Printf("importance score P(e) — noise edges: %s\n", noisy.String())
+	if clean.Mean() > noisy.Mean() {
+		fmt.Println("→ the adaptive selector down-weights fraudulent interactions")
+	} else {
+		fmt.Println("→ separation not yet visible at this scale; train longer")
+	}
+	fmt.Printf("\ntest MRR: %.4f\n", tr.EvalMRR(train.SplitTest))
+}

@@ -1,0 +1,105 @@
+// Sequential recommendation on a user–item bipartite graph (MovieLens-style):
+// the paper's second motivating application. We train TGAT with TASER and
+// produce top-k next-item recommendations for the most active users by
+// ranking candidate destinations with the trained edge predictor — the same
+// scoring path the MRR evaluation uses.
+//
+// Run with:
+//
+//	go run ./examples/recsys
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"taser/internal/adaptive"
+	"taser/internal/autograd"
+	"taser/internal/datasets"
+	"taser/internal/sampler"
+	"taser/internal/train"
+)
+
+func main() {
+	ds := datasets.MovieLens(0.1, 5)
+	fmt.Println(ds)
+
+	tr, err := train.New(train.Config{
+		Model:  train.ModelTGAT,
+		Epochs: 4, Hidden: 24, BatchSize: 150, LR: 3e-3,
+		AdaBatch: true, AdaNeighbor: true, Decoder: adaptive.DecoderGATv2,
+		CacheRatio: 0.2, MaxEvalEdges: 150, Seed: 21,
+	}, ds)
+	if err != nil {
+		panic(err)
+	}
+	for e := 0; e < tr.Cfg.Epochs; e++ {
+		res := tr.TrainEpoch()
+		fmt.Printf("epoch %d loss=%.4f\n", e+1, res.MeanLoss)
+	}
+	fmt.Printf("test MRR: %.4f\n\n", tr.EvalMRR(train.SplitTest))
+
+	// Find the three most active users in the training window.
+	activity := map[int32]int{}
+	for _, ev := range ds.Graph.Events[:ds.TrainEnd] {
+		activity[ev.Src]++
+	}
+	type ua struct {
+		user int32
+		n    int
+	}
+	users := make([]ua, 0, len(activity))
+	for u, n := range activity {
+		users = append(users, ua{u, n})
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].n > users[j].n })
+
+	// Recommend: embed the user and a pool of candidate items at the end of
+	// the training window, score all pairs, report the top 5.
+	horizon := ds.Graph.Events[ds.TrainEnd-1].Time + 1
+	const pool = 60
+	for _, u := range users[:3] {
+		items := make([]int32, pool)
+		for i := range items {
+			items[i] = int32(ds.Spec.NumSrc + (i*37)%(ds.Spec.NumNodes-ds.Spec.NumSrc))
+		}
+		scores := scorePairs(tr, u.user, items, horizon)
+		type rec struct {
+			item  int32
+			score float64
+		}
+		recs := make([]rec, len(items))
+		for i := range items {
+			recs[i] = rec{items[i], scores[i]}
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].score > recs[j].score })
+		fmt.Printf("user %4d (%3d interactions) → top items:", u.user, u.n)
+		for _, r := range recs[:5] {
+			fmt.Printf(" %d(%.2f)", r.item, r.score)
+		}
+		fmt.Println()
+	}
+}
+
+// scorePairs embeds one user and a candidate item pool at time t and returns
+// the predictor logits for every (user, item) pair.
+func scorePairs(tr *train.Trainer, user int32, items []int32, t float64) []float64 {
+	roots := make([]sampler.Target, 0, 1+len(items))
+	roots = append(roots, sampler.Target{Node: user, Time: t})
+	for _, it := range items {
+		roots = append(roots, sampler.Target{Node: it, Time: t})
+	}
+	mb := tr.BuildMiniBatch(roots)
+	g := autograd.New()
+	emb, _ := tr.Model.Forward(g, mb)
+	src := make([]int32, len(items))
+	dst := make([]int32, len(items))
+	for i := range items {
+		src[i] = 0
+		dst[i] = int32(1 + i)
+	}
+	logits := tr.Pred.ScoreGathered(g, emb, src, dst)
+	out := make([]float64, len(items))
+	copy(out, logits.Val.Data)
+	return out
+}

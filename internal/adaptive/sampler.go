@@ -1,0 +1,319 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"taser/internal/autograd"
+	"taser/internal/encoding"
+	"taser/internal/mathx"
+	"taser/internal/nn"
+	"taser/internal/tensor"
+)
+
+// Decoder selects the predictor family that turns neighbor embeddings into
+// sampling scores (Eqs. 17–20). The paper finds TGAT pairs best with GATv2
+// and GraphMixer with the Mixer-style/linear head.
+type Decoder int
+
+const (
+	// DecoderLinear is q_linear (Eq. 17).
+	DecoderLinear Decoder = iota
+	// DecoderGAT is q_gat (Eq. 18).
+	DecoderGAT
+	// DecoderGATv2 is q_gatv2 (Eq. 19).
+	DecoderGATv2
+	// DecoderTrans is q_trans (Eq. 20).
+	DecoderTrans
+)
+
+// String implements fmt.Stringer.
+func (d Decoder) String() string {
+	switch d {
+	case DecoderLinear:
+		return "linear"
+	case DecoderGAT:
+		return "gat"
+	case DecoderGATv2:
+		return "gatv2"
+	case DecoderTrans:
+		return "trans"
+	}
+	return fmt.Sprintf("Decoder(%d)", int(d))
+}
+
+// SamplerConfig configures the temporal adaptive neighbor sampler.
+type SamplerConfig struct {
+	NodeDim int // raw node-feature width (0 if absent)
+	EdgeDim int // raw edge-feature width (0 if absent)
+	FeatDim int // d_feat: projected width of node/edge features (Eq. 14)
+	TimeDim int // d_time: fixed time-encoding width (Eq. 8)
+	FreqDim int // d_freq: frequency-encoding width (Eq. 12)
+	M       int // candidate-set size (neighbor finder budget m)
+	Decoder Decoder
+	Hidden  int // decoder head width (defaults to FeatDim when 0)
+
+	// Encoder ablation switches (§IV-B's encoder study): all true by default
+	// via NewSampler.
+	UseTE, UseFE, UseIE bool
+
+	// REINFORCE hyperparameters of Eq. 25 (paper: α=2, β=1).
+	Alpha, Beta float64
+}
+
+// NeighborSampler is the parameterized encoder–decoder q_θ(u|v) (§III-B).
+// It encodes each candidate's contextual (node/edge features), temporal
+// (TE), structural-recurrence (FE) and identity (IE) signals, mixes the
+// neighborhood with a 1-layer MLP-Mixer (Eq. 16), and decodes a per-root
+// score distribution with one of four predictor heads.
+type NeighborSampler struct {
+	cfg SamplerConfig
+
+	timeEnc *encoding.TimeEncoder
+	freqEnc *encoding.FreqEncoder
+
+	nodeProj *nn.Linear // x_u → d_feat (Eq. 14)
+	edgeProj *nn.Linear // x_uvt → d_feat
+	mixer    *nn.MixerBlock
+
+	// Decoder heads; only the configured one is used.
+	linHead *nn.Linear // Z → 1 (Eq. 17)
+	gatU    *nn.Linear // W_g z_u (Eq. 18)
+	gatV    *nn.Linear // W_g z_v
+	gatA    *nn.Linear // a^T [·‖·] (Eq. 18)
+	gatv2W  *nn.Linear // W_g2 [z_u‖z_v] (Eq. 19)
+	gatv2A  *nn.Linear
+	transQ  *nn.Linear // W_t z_v (Eq. 20)
+	transK  *nn.Linear // W'_t Z
+
+	rng *mathx.RNG
+}
+
+// NewSampler builds the sampler with all encoder components enabled.
+func NewSampler(cfg SamplerConfig, rng *mathx.RNG) *NeighborSampler {
+	if cfg.FeatDim <= 0 || cfg.TimeDim <= 0 || cfg.FreqDim <= 0 || cfg.M <= 0 {
+		panic("adaptive: sampler dims must be positive")
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = cfg.FeatDim
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 1
+	}
+	s := &NeighborSampler{
+		cfg:     cfg,
+		timeEnc: encoding.NewTimeEncoder(cfg.TimeDim, 0, 0),
+		freqEnc: encoding.NewFreqEncoder(cfg.FreqDim),
+		rng:     rng.Split(),
+	}
+	if cfg.NodeDim > 0 {
+		s.nodeProj = nn.NewLinear(cfg.NodeDim, cfg.FeatDim, rng)
+	}
+	if cfg.EdgeDim > 0 {
+		s.edgeProj = nn.NewLinear(cfg.EdgeDim, cfg.FeatDim, rng)
+	}
+	enc := s.encDim()
+	// Channel hidden = d_enc (1×) keeps the sampler an order of magnitude
+	// cheaper than the TGNN it serves, matching Table III's small AS share.
+	s.mixer = nn.NewMixerBlock(cfg.M, enc, 0, enc, rng)
+	dv := s.targetDim()
+	h := cfg.Hidden
+	switch cfg.Decoder {
+	case DecoderLinear:
+		s.linHead = nn.NewLinear(enc, 1, rng)
+	case DecoderGAT:
+		s.gatU = nn.NewLinear(enc, h, rng)
+		s.gatV = nn.NewLinear(dv, h, rng)
+		s.gatA = nn.NewLinear(2*h, 1, rng)
+	case DecoderGATv2:
+		s.gatv2W = nn.NewLinear(enc+dv, h, rng)
+		s.gatv2A = nn.NewLinear(h, 1, rng)
+	case DecoderTrans:
+		s.transQ = nn.NewLinear(dv, h, rng)
+		s.transK = nn.NewLinear(enc, h, rng)
+	default:
+		panic("adaptive: unknown decoder")
+	}
+	return s
+}
+
+// encDim is the neighbor embedding width d_enc (Eq. 15), depending on which
+// encoder components are enabled.
+func (s *NeighborSampler) encDim() int {
+	d := 0
+	if s.cfg.NodeDim > 0 {
+		d += s.cfg.FeatDim
+	}
+	if s.cfg.EdgeDim > 0 {
+		d += s.cfg.FeatDim
+	}
+	if s.cfg.UseTE {
+		d += s.cfg.TimeDim
+	}
+	if s.cfg.UseFE {
+		d += s.cfg.FreqDim
+	}
+	if s.cfg.UseIE {
+		d += s.cfg.M
+	}
+	if d == 0 {
+		panic("adaptive: all encoder components disabled")
+	}
+	return d
+}
+
+// targetDim is the width of the target embedding z_v (Eq. 21).
+func (s *NeighborSampler) targetDim() int {
+	d := s.cfg.TimeDim + s.cfg.FreqDim
+	if s.cfg.NodeDim > 0 {
+		d += s.cfg.FeatDim
+	}
+	return d
+}
+
+// Params exposes all trainable parameters.
+func (s *NeighborSampler) Params() []*autograd.Var {
+	mods := []nn.Module{s.mixer}
+	for _, m := range []*nn.Linear{s.nodeProj, s.edgeProj, s.linHead, s.gatU, s.gatV,
+		s.gatA, s.gatv2W, s.gatv2A, s.transQ, s.transK} {
+		if m != nil {
+			mods = append(mods, m)
+		}
+	}
+	return nn.CollectParams(mods...)
+}
+
+// encode builds the neighbor embeddings z_(u,t) (Eq. 15) for a candidate set.
+func (s *NeighborSampler) encode(g *autograd.Graph, c *CandidateSet) *autograd.Var {
+	var parts []*autograd.Var
+	if s.nodeProj != nil {
+		parts = append(parts, g.GELU(s.nodeProj.Apply(g, autograd.NewConst(c.NodeFeat))))
+	}
+	if s.edgeProj != nil {
+		parts = append(parts, g.GELU(s.edgeProj.Apply(g, autograd.NewConst(c.EdgeFeat))))
+	}
+	rows := c.B * c.M
+	if s.cfg.UseTE {
+		te := tensor.New(rows, s.cfg.TimeDim)
+		for i := 0; i < rows; i++ {
+			s.timeEnc.Encode(te.Row(i), c.DeltaT[i])
+		}
+		parts = append(parts, autograd.NewConst(te))
+	}
+	if s.cfg.UseFE {
+		fe := tensor.New(rows, s.cfg.FreqDim)
+		freqs := make([]int, c.M)
+		for b := 0; b < c.B; b++ {
+			encoding.Frequencies(c.Nodes[b*c.M:(b+1)*c.M], freqs)
+			for j, f := range freqs {
+				s.freqEnc.Encode(fe.Row(b*c.M+j), f)
+			}
+		}
+		parts = append(parts, autograd.NewConst(fe))
+	}
+	if s.cfg.UseIE {
+		ie := tensor.New(rows, c.M)
+		for b := 0; b < c.B; b++ {
+			encoding.Identity(c.Nodes[b*c.M:(b+1)*c.M], ie.Data[b*c.M*c.M:(b+1)*c.M*c.M], c.M)
+		}
+		parts = append(parts, autograd.NewConst(ie))
+	}
+	return g.ConcatCols(parts...)
+}
+
+// encodeTarget builds z_v = {h(v) ‖ TE(0) ‖ FE(1)} (Eq. 21).
+func (s *NeighborSampler) encodeTarget(g *autograd.Graph, c *CandidateSet) *autograd.Var {
+	var parts []*autograd.Var
+	if s.nodeProj != nil {
+		parts = append(parts, g.GELU(s.nodeProj.Apply(g, autograd.NewConst(c.TargetFeat))))
+	}
+	te := tensor.New(c.B, s.cfg.TimeDim)
+	fe := tensor.New(c.B, s.cfg.FreqDim)
+	for i := 0; i < c.B; i++ {
+		s.timeEnc.Encode(te.Row(i), 0)
+		s.freqEnc.Encode(fe.Row(i), 1)
+	}
+	parts = append(parts, autograd.NewConst(te), autograd.NewConst(fe))
+	return g.ConcatCols(parts...)
+}
+
+// Scores computes the unnormalized per-root candidate scores (before the
+// softmax σ of Eqs. 17–20), with padding already masked to −1e9.
+func (s *NeighborSampler) Scores(g *autograd.Graph, c *CandidateSet) *autograd.Var {
+	if c.M != s.cfg.M {
+		panic(fmt.Sprintf("adaptive: candidate set has m=%d, sampler built for m=%d", c.M, s.cfg.M))
+	}
+	z := s.encode(g, c)
+	z = g.MulColVec(z, maskCol(c)) // zero padding tokens before mixing
+	z = s.mixer.Apply(g, z)        // Z_Ns(v) (Eq. 16)
+
+	var scores *autograd.Var
+	switch s.cfg.Decoder {
+	case DecoderLinear:
+		scores = g.Reshape(s.linHead.Apply(g, z), c.B, c.M)
+	case DecoderGAT:
+		u := s.gatU.Apply(g, z)
+		v := g.RepeatRows(s.gatV.Apply(g, s.encodeTarget(g, c)), c.M)
+		e := s.gatA.Apply(g, g.ConcatCols(u, v))
+		scores = g.Reshape(g.LeakyReLU(e, 0.2), c.B, c.M)
+	case DecoderGATv2:
+		v := g.RepeatRows(s.encodeTarget(g, c), c.M)
+		e := s.gatv2A.Apply(g, g.LeakyReLU(s.gatv2W.Apply(g, g.ConcatCols(z, v)), 0.2))
+		scores = g.Reshape(e, c.B, c.M)
+	case DecoderTrans:
+		q := s.transQ.Apply(g, s.encodeTarget(g, c))
+		k := s.transK.Apply(g, z)
+		scores = g.Scale(g.GroupedScore(q, k, c.M), 1/math.Sqrt(float64(c.M)))
+	}
+	return g.Add(scores, autograd.NewConst(c.MaskBias))
+}
+
+func maskCol(c *CandidateSet) *tensor.Matrix {
+	col := tensor.New(c.B*c.M, 1)
+	copy(col.Data, c.Mask.Data)
+	return col
+}
+
+// Selection is the result of adaptive neighbor sampling for one batch.
+type Selection struct {
+	// Chosen[i] lists root i's selected candidate slots (indices in [0, M)),
+	// at most n of them.
+	Chosen [][]int
+	// LogQ is the (differentiable) log-probability matrix B×M used by the
+	// sample loss; only entries at chosen slots receive coefficients.
+	LogQ *autograd.Var
+	// Probs is the materialized q_θ(u|v) distribution (B×M), for tests.
+	Probs *tensor.Matrix
+}
+
+// Select draws n supporting neighbors per root without replacement from
+// q_θ(·|v) = softmax(scores) (Algorithm 1 line 6).
+func (s *NeighborSampler) Select(g *autograd.Graph, c *CandidateSet, n int) *Selection {
+	scores := s.Scores(g, c)
+	logq := g.LogSoftmaxRows(scores)
+	sel := &Selection{
+		Chosen: make([][]int, c.B),
+		LogQ:   logq,
+		Probs:  tensor.New(c.B, c.M),
+	}
+	weights := make([]float64, c.M)
+	for b := 0; b < c.B; b++ {
+		row := logq.Val.Row(b)
+		for j := range weights {
+			p := math.Exp(row[j]) * c.Mask.Data[b*c.M+j]
+			weights[j] = p
+			sel.Probs.Set(b, j, p)
+		}
+		valid := c.ValidCount(b)
+		if valid == 0 {
+			sel.Chosen[b] = nil
+			continue
+		}
+		k := mathx.MinInt(n, valid)
+		sel.Chosen[b] = mathx.WeightedSampleNoReplace(s.rng, weights, k)
+	}
+	return sel
+}

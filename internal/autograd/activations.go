@@ -1,0 +1,186 @@
+package autograd
+
+import (
+	"math"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+// Sigmoid applies the logistic function element-wise.
+func (g *Graph) Sigmoid(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i, v := range a.Val.Data {
+		o.Val.Data[i] = mathx.Sigmoid(v)
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, s := range o.Val.Data {
+				a.Grad.Data[i] += o.Grad.Data[i] * s * (1 - s)
+			}
+		})
+	}
+	return o
+}
+
+// Tanh applies tanh element-wise.
+func (g *Graph) Tanh(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i, v := range a.Val.Data {
+		o.Val.Data[i] = math.Tanh(v)
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, t := range o.Val.Data {
+				a.Grad.Data[i] += o.Grad.Data[i] * (1 - t*t)
+			}
+		})
+	}
+	return o
+}
+
+// ReLU applies max(0, x) element-wise.
+func (g *Graph) ReLU(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i, v := range a.Val.Data {
+		if v > 0 {
+			o.Val.Data[i] = v
+		}
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, v := range a.Val.Data {
+				if v > 0 {
+					a.Grad.Data[i] += o.Grad.Data[i]
+				}
+			}
+		})
+	}
+	return o
+}
+
+// LeakyReLU applies x>=0 ? x : slope·x element-wise (GAT uses slope 0.2).
+func (g *Graph) LeakyReLU(a *Var, slope float64) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i, v := range a.Val.Data {
+		o.Val.Data[i] = mathx.LeakyReLU(v, slope)
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, v := range a.Val.Data {
+				d := o.Grad.Data[i]
+				if v < 0 {
+					d *= slope
+				}
+				a.Grad.Data[i] += d
+			}
+		})
+	}
+	return o
+}
+
+// geluParallelThreshold is the element count above which GELU fans out; the
+// tanh evaluation is expensive enough that this is the hottest element-wise
+// op in training.
+const geluParallelThreshold = 1 << 14
+
+// GELU applies the Gaussian error linear unit element-wise.
+func (g *Graph) GELU(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	forEachChunk(len(a.Val.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o.Val.Data[i] = mathx.GELU(a.Val.Data[i])
+		}
+	})
+	if o.NeedsGrad() {
+		g.push(func() {
+			forEachChunk(len(a.Val.Data), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Grad.Data[i] += o.Grad.Data[i] * mathx.GELUGrad(a.Val.Data[i])
+				}
+			})
+		})
+	}
+	return o
+}
+
+// forEachChunk runs body over [0, n) in parallel chunks when n is large.
+func forEachChunk(n int, body func(lo, hi int)) {
+	if n < geluParallelThreshold {
+		body(0, n)
+		return
+	}
+	tensor.ParallelRows(n, body)
+}
+
+// Cos applies cos element-wise; used by the learnable time encoding (Eq. 3).
+func (g *Graph) Cos(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i, v := range a.Val.Data {
+		o.Val.Data[i] = math.Cos(v)
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, v := range a.Val.Data {
+				a.Grad.Data[i] -= o.Grad.Data[i] * math.Sin(v)
+			}
+		})
+	}
+	return o
+}
+
+// SoftmaxRows applies softmax along each row.
+func (g *Graph) SoftmaxRows(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	tensor.SoftmaxRowsInto(o.Val, a.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			// dx_j = s_j (dy_j - Σ_k dy_k s_k)
+			for i := 0; i < a.Rows(); i++ {
+				s := o.Val.Row(i)
+				dy := o.Grad.Row(i)
+				var dot float64
+				for k, sv := range s {
+					dot += dy[k] * sv
+				}
+				dx := a.Grad.Row(i)
+				for j, sv := range s {
+					dx[j] += sv * (dy[j] - dot)
+				}
+			}
+		})
+	}
+	return o
+}
+
+// LogSoftmaxRows returns log(softmax) per row; the numerically preferred
+// input to the REINFORCE sample loss.
+func (g *Graph) LogSoftmaxRows(a *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i := 0; i < a.Rows(); i++ {
+		row := a.Val.Row(i)
+		lse := mathx.LogSumExp(row)
+		out := o.Val.Row(i)
+		for j, v := range row {
+			out[j] = v - lse
+		}
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			// dx_j = dy_j - softmax_j Σ_k dy_k
+			for i := 0; i < a.Rows(); i++ {
+				dy := o.Grad.Row(i)
+				var sum float64
+				for _, v := range dy {
+					sum += v
+				}
+				logp := o.Val.Row(i)
+				dx := a.Grad.Row(i)
+				for j, lp := range logp {
+					dx[j] += dy[j] - math.Exp(lp)*sum
+				}
+			}
+		})
+	}
+	return o
+}

@@ -1,0 +1,260 @@
+// Package autograd implements a reverse-mode automatic differentiation tape
+// over tensor.Matrix values. It replaces the role PyTorch plays in the
+// original TASER implementation.
+//
+// A Graph records one forward pass; Backward replays the tape in reverse,
+// accumulating gradients into each Var's Grad matrix. Parameters are Vars
+// created once with NewParam and reused across graphs; their gradients
+// persist until the optimizer zeroes them. Intermediate Vars are created by
+// the Graph's operator methods and live only as long as the graph.
+//
+// Beyond the usual dense primitives, the package provides the fused grouped
+// operations TASER's models need: per-neighborhood attention scoring and
+// combination (TGAT, Eq. 7) and shared-weight token mixing over fixed-size
+// neighborhoods (GraphMixer / the adaptive sampler's MLP-Mixer decoder,
+// Eqs. 9 and 16).
+package autograd
+
+import (
+	"fmt"
+
+	"taser/internal/tensor"
+)
+
+// Var is a node in the autograd graph: a value and, if gradients are
+// required, an accumulator of the same shape.
+type Var struct {
+	Val  *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// NewParam wraps m as a trainable parameter (gradient allocated).
+func NewParam(m *tensor.Matrix) *Var {
+	return &Var{Val: m, Grad: tensor.New(m.Rows, m.Cols)}
+}
+
+// NewConst wraps m as a constant (no gradient is ever accumulated).
+func NewConst(m *tensor.Matrix) *Var {
+	return &Var{Val: m}
+}
+
+// NeedsGrad reports whether v participates in differentiation.
+func (v *Var) NeedsGrad() bool { return v != nil && v.Grad != nil }
+
+// Rows and Cols expose the underlying shape.
+func (v *Var) Rows() int { return v.Val.Rows }
+func (v *Var) Cols() int { return v.Val.Cols }
+
+// Graph records a single forward pass.
+type Graph struct {
+	tape []func()
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Ops reports the number of recorded backward steps (for tests/metrics).
+func (g *Graph) Ops() int { return len(g.tape) }
+
+func (g *Graph) push(backward func()) { g.tape = append(g.tape, backward) }
+
+// out allocates a result Var; it carries a gradient buffer iff any input
+// requires gradients.
+func (g *Graph) out(rows, cols int, needsGrad bool) *Var {
+	v := &Var{Val: tensor.New(rows, cols)}
+	if needsGrad {
+		v.Grad = tensor.New(rows, cols)
+	}
+	return v
+}
+
+// Backward seeds d(loss)/d(loss)=1 and replays the tape in reverse. loss must
+// be a 1×1 Var produced by this graph.
+func (g *Graph) Backward(loss *Var) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward on %dx%d, want scalar", loss.Val.Rows, loss.Val.Cols))
+	}
+	if !loss.NeedsGrad() {
+		panic("autograd: Backward on a constant loss")
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(g.tape) - 1; i >= 0; i-- {
+		g.tape[i]()
+	}
+}
+
+// --- dense primitives ---
+
+// MatMul returns a @ b.
+func (g *Graph) MatMul(a, b *Var) *Var {
+	o := g.out(a.Rows(), b.Cols(), a.NeedsGrad() || b.NeedsGrad())
+	tensor.MatMulInto(o.Val, a.Val, b.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			if a.NeedsGrad() {
+				// dA += dO @ Bᵀ
+				tmp := tensor.MatMulTransB(o.Grad, b.Val)
+				a.Grad.AddInPlace(tmp)
+			}
+			if b.NeedsGrad() {
+				// dB += Aᵀ @ dO
+				tensor.MatMulTransAInto(b.Grad, a.Val, o.Grad)
+			}
+		})
+	}
+	return o
+}
+
+// Add returns a + b (same shape).
+func (g *Graph) Add(a, b *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad() || b.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	o.Val.AddInPlace(b.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			if a.NeedsGrad() {
+				a.Grad.AddInPlace(o.Grad)
+			}
+			if b.NeedsGrad() {
+				b.Grad.AddInPlace(o.Grad)
+			}
+		})
+	}
+	return o
+}
+
+// Sub returns a - b.
+func (g *Graph) Sub(a, b *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad() || b.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	o.Val.SubInPlace(b.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			if a.NeedsGrad() {
+				a.Grad.AddInPlace(o.Grad)
+			}
+			if b.NeedsGrad() {
+				b.Grad.SubInPlace(o.Grad)
+			}
+		})
+	}
+	return o
+}
+
+// Mul returns the Hadamard product a ⊙ b.
+func (g *Graph) Mul(a, b *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad() || b.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	o.Val.MulInPlace(b.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			if a.NeedsGrad() {
+				for i, gv := range o.Grad.Data {
+					a.Grad.Data[i] += gv * b.Val.Data[i]
+				}
+			}
+			if b.NeedsGrad() {
+				for i, gv := range o.Grad.Data {
+					b.Grad.Data[i] += gv * a.Val.Data[i]
+				}
+			}
+		})
+	}
+	return o
+}
+
+// Scale returns s·a for a constant scalar s.
+func (g *Graph) Scale(a *Var, s float64) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	o.Val.ScaleInPlace(s)
+	if o.NeedsGrad() {
+		g.push(func() { a.Grad.AxpyInPlace(s, o.Grad) })
+	}
+	return o
+}
+
+// AddBias broadcasts the 1×C row vector b over every row of a.
+func (g *Graph) AddBias(a, b *Var) *Var {
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad() || b.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	o.Val.AddRowVecInPlace(b.Val)
+	if o.NeedsGrad() {
+		g.push(func() {
+			if a.NeedsGrad() {
+				a.Grad.AddInPlace(o.Grad)
+			}
+			if b.NeedsGrad() {
+				for i := 0; i < o.Grad.Rows; i++ {
+					row := o.Grad.Row(i)
+					for j, v := range row {
+						b.Grad.Data[j] += v
+					}
+				}
+			}
+		})
+	}
+	return o
+}
+
+// ConcatCols concatenates parts along the column axis.
+func (g *Graph) ConcatCols(parts ...*Var) *Var {
+	rows := parts[0].Rows()
+	cols := 0
+	needs := false
+	mats := make([]*tensor.Matrix, len(parts))
+	for i, p := range parts {
+		cols += p.Cols()
+		needs = needs || p.NeedsGrad()
+		mats[i] = p.Val
+	}
+	o := g.out(rows, cols, needs)
+	tensor.ConcatColsInto(o.Val, mats...)
+	if o.NeedsGrad() {
+		g.push(func() {
+			off := 0
+			for _, p := range parts {
+				w := p.Cols()
+				if p.NeedsGrad() {
+					for i := 0; i < rows; i++ {
+						src := o.Grad.Row(i)[off : off+w]
+						dst := p.Grad.Row(i)
+						for j, v := range src {
+							dst[j] += v
+						}
+					}
+				}
+				off += w
+			}
+		})
+	}
+	return o
+}
+
+// Reshape reinterprets a's row-major data as rows×cols (element count must
+// match). Used to fold (B·m)×1 score columns into B×m neighborhoods.
+func (g *Graph) Reshape(a *Var, rows, cols int) *Var {
+	if rows*cols != a.Rows()*a.Cols() {
+		panic(fmt.Sprintf("autograd: Reshape %dx%d to %dx%d", a.Rows(), a.Cols(), rows, cols))
+	}
+	o := g.out(rows, cols, a.NeedsGrad())
+	copy(o.Val.Data, a.Val.Data)
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i, v := range o.Grad.Data {
+				a.Grad.Data[i] += v
+			}
+		})
+	}
+	return o
+}
+
+// GatherRows selects rows idx from src (src may be a large embedding table).
+func (g *Graph) GatherRows(src *Var, idx []int32) *Var {
+	o := g.out(len(idx), src.Cols(), src.NeedsGrad())
+	tensor.GatherRowsInto(o.Val, src.Val, idx)
+	if o.NeedsGrad() {
+		g.push(func() { tensor.ScatterAddRows(src.Grad, o.Grad, idx) })
+	}
+	return o
+}

@@ -1,0 +1,282 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+// gradCheck compares the analytic gradient of params against central finite
+// differences of the scalar produced by forward. forward must rebuild the
+// whole graph from the current parameter values on every call.
+func gradCheck(t *testing.T, params []*Var, forward func(g *Graph) *Var, tol float64) {
+	t.Helper()
+	// Analytic pass.
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	g := New()
+	loss := forward(g)
+	g.Backward(loss)
+
+	const h = 1e-6
+	for pi, p := range params {
+		for i := range p.Val.Data {
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + h
+			up := forward(New()).Val.Data[0]
+			p.Val.Data[i] = orig - h
+			down := forward(New()).Val.Data[0]
+			p.Val.Data[i] = orig
+			fd := (up - down) / (2 * h)
+			an := p.Grad.Data[i]
+			scale := math.Max(1, math.Max(math.Abs(fd), math.Abs(an)))
+			if math.Abs(fd-an)/scale > tol {
+				t.Fatalf("param %d elem %d: analytic %v, finite-diff %v", pi, i, an, fd)
+			}
+		}
+	}
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	a := NewParam(tensor.Randn(3, 4, 1, rng))
+	b := NewParam(tensor.Randn(4, 2, 1, rng))
+	gradCheck(t, []*Var{a, b}, func(g *Graph) *Var {
+		return g.MeanAll(g.MatMul(a, b))
+	}, 1e-6)
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	a := NewParam(tensor.Randn(2, 3, 1, rng))
+	b := NewParam(tensor.Randn(2, 3, 1, rng))
+	gradCheck(t, []*Var{a, b}, func(g *Graph) *Var {
+		x := g.Add(a, b)
+		y := g.Sub(x, g.Scale(b, 0.5))
+		z := g.Mul(y, a)
+		return g.SumAll(z)
+	}, 1e-6)
+}
+
+func TestGradAddBias(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	a := NewParam(tensor.Randn(4, 3, 1, rng))
+	bias := NewParam(tensor.Randn(1, 3, 1, rng))
+	gradCheck(t, []*Var{a, bias}, func(g *Graph) *Var {
+		return g.MeanAll(g.Sigmoid(g.AddBias(a, bias)))
+	}, 1e-6)
+}
+
+func TestGradConcatCols(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	a := NewParam(tensor.Randn(3, 2, 1, rng))
+	b := NewParam(tensor.Randn(3, 4, 1, rng))
+	w := NewParam(tensor.Randn(6, 1, 1, rng))
+	gradCheck(t, []*Var{a, b, w}, func(g *Graph) *Var {
+		return g.MeanAll(g.MatMul(g.ConcatCols(a, b), w))
+	}, 1e-6)
+}
+
+func TestGradGatherRows(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	table := NewParam(tensor.Randn(5, 3, 1, rng))
+	idx := []int32{4, 0, 0, 2}
+	gradCheck(t, []*Var{table}, func(g *Graph) *Var {
+		return g.SumAll(g.Tanh(g.GatherRows(table, idx)))
+	}, 1e-6)
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	for name, f := range map[string]func(g *Graph, v *Var) *Var{
+		"sigmoid":   func(g *Graph, v *Var) *Var { return g.Sigmoid(v) },
+		"tanh":      func(g *Graph, v *Var) *Var { return g.Tanh(v) },
+		"gelu":      func(g *Graph, v *Var) *Var { return g.GELU(v) },
+		"leakyrelu": func(g *Graph, v *Var) *Var { return g.LeakyReLU(v, 0.2) },
+		"cos":       func(g *Graph, v *Var) *Var { return g.Cos(v) },
+	} {
+		a := NewParam(tensor.Randn(3, 4, 1, rng))
+		// Nudge values away from ReLU kinks.
+		for i := range a.Val.Data {
+			if math.Abs(a.Val.Data[i]) < 1e-3 {
+				a.Val.Data[i] = 0.1
+			}
+		}
+		act := f
+		gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+			return g.MeanAll(act(g, a))
+		}, 1e-5)
+		_ = name
+	}
+}
+
+func TestGradReLU(t *testing.T) {
+	a := NewParam(tensor.FromSlice(1, 4, []float64{-1, 2, -3, 4}))
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.SumAll(g.ReLU(a))
+	}, 1e-6)
+}
+
+func TestGradSoftmaxRows(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	a := NewParam(tensor.Randn(3, 5, 1, rng))
+	coef := tensor.Randn(3, 5, 1, rng)
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.SoftmaxRows(a), coef)
+	}, 1e-6)
+}
+
+func TestGradLogSoftmaxRows(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	a := NewParam(tensor.Randn(2, 6, 1, rng))
+	coef := tensor.Randn(2, 6, 1, rng)
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.LogSoftmaxRows(a), coef)
+	}, 1e-6)
+}
+
+func TestGradGroupMean(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	a := NewParam(tensor.Randn(6, 3, 1, rng))
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.MeanAll(g.Sigmoid(g.GroupMean(a, 3)))
+	}, 1e-6)
+}
+
+func TestGradBCEWithLogits(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	logits := NewParam(tensor.Randn(6, 1, 1, rng))
+	labels := []float64{1, 0, 1, 1, 0, 0}
+	gradCheck(t, []*Var{logits}, func(g *Graph) *Var {
+		return g.BCEWithLogits(logits, labels)
+	}, 1e-6)
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	a := NewParam(tensor.Randn(4, 5, 1, rng))
+	gain := NewParam(tensor.Randn(1, 5, 0.5, rng))
+	gain.Val.AddRowVecInPlace(onesRow(5)) // keep gains near 1
+	bias := NewParam(tensor.Randn(1, 5, 0.5, rng))
+	coef := tensor.Randn(4, 5, 1, rng)
+	gradCheck(t, []*Var{a, gain, bias}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.LayerNormRows(a, gain, bias), coef)
+	}, 1e-4)
+}
+
+func onesRow(c int) *tensor.Matrix {
+	m := tensor.New(1, c)
+	m.Fill(1)
+	return m
+}
+
+func TestGradGroupedScore(t *testing.T) {
+	rng := mathx.NewRNG(12)
+	const b, k, d = 3, 4, 5
+	q := NewParam(tensor.Randn(b, d, 1, rng))
+	keys := NewParam(tensor.Randn(b*k, d, 1, rng))
+	coef := tensor.Randn(b, k, 1, rng)
+	gradCheck(t, []*Var{q, keys}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.GroupedScore(q, keys, k), coef)
+	}, 1e-6)
+}
+
+func TestGradGroupedWeightedSum(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	const b, k, d = 2, 3, 4
+	w := NewParam(tensor.Randn(b, k, 1, rng))
+	vals := NewParam(tensor.Randn(b*k, d, 1, rng))
+	coef := tensor.Randn(b, d, 1, rng)
+	gradCheck(t, []*Var{w, vals}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.GroupedWeightedSum(w, vals, k), coef)
+	}, 1e-6)
+}
+
+func TestGradGroupedMatMulLeft(t *testing.T) {
+	rng := mathx.NewRNG(14)
+	const b, k, k2, c = 2, 3, 4, 5
+	w := NewParam(tensor.Randn(k2, k, 1, rng))
+	src := NewParam(tensor.Randn(b*k, c, 1, rng))
+	coef := tensor.Randn(b*k2, c, 1, rng)
+	gradCheck(t, []*Var{w, src}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.GroupedMatMulLeft(w, src, k), coef)
+	}, 1e-6)
+}
+
+func TestGradRepeatRows(t *testing.T) {
+	rng := mathx.NewRNG(15)
+	a := NewParam(tensor.Randn(3, 4, 1, rng))
+	coef := tensor.Randn(6, 4, 1, rng)
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.RepeatRows(a, 2), coef)
+	}, 1e-6)
+}
+
+func TestGradFullAttentionStack(t *testing.T) {
+	// End-to-end: a miniature grouped-attention block exactly like TGAT's
+	// combiner, checked against finite differences through softmax, scoring
+	// and the weighted sum simultaneously.
+	rng := mathx.NewRNG(16)
+	const b, k, d = 2, 3, 4
+	q := NewParam(tensor.Randn(b, d, 0.5, rng))
+	keys := NewParam(tensor.Randn(b*k, d, 0.5, rng))
+	vals := NewParam(tensor.Randn(b*k, d, 0.5, rng))
+	coef := tensor.Randn(b, d, 1, rng)
+	gradCheck(t, []*Var{q, keys, vals}, func(g *Graph) *Var {
+		scores := g.Scale(g.GroupedScore(q, keys, k), 1/math.Sqrt(d))
+		attn := g.SoftmaxRows(scores)
+		out := g.GroupedWeightedSum(attn, vals, k)
+		return g.WeightedSumConst(out, coef)
+	}, 1e-5)
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	g := New()
+	a := NewParam(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Backward(a)
+}
+
+func TestConstHasNoGrad(t *testing.T) {
+	g := New()
+	c := NewConst(tensor.FromSlice(1, 2, []float64{1, 2}))
+	p := NewParam(tensor.FromSlice(2, 1, []float64{3, 4}))
+	loss := g.MeanAll(g.MatMul(c, p))
+	g.Backward(loss)
+	if c.Grad != nil {
+		t.Fatal("const must not accumulate grad")
+	}
+	if p.Grad.Data[0] == 0 {
+		t.Fatal("param grad must be populated")
+	}
+}
+
+func TestParamReuseAccumulates(t *testing.T) {
+	// Using the same parameter twice must sum both contribution paths.
+	p := NewParam(tensor.FromSlice(1, 1, []float64{3}))
+	g := New()
+	// loss = p*p → dp = 2p = 6
+	loss := g.SumAll(g.Mul(p, p))
+	g.Backward(loss)
+	if math.Abs(p.Grad.Data[0]-6) > 1e-12 {
+		t.Fatalf("grad %v want 6", p.Grad.Data[0])
+	}
+}
+
+func TestGradAccumulatesAcrossGraphs(t *testing.T) {
+	p := NewParam(tensor.FromSlice(1, 1, []float64{2}))
+	for i := 0; i < 3; i++ {
+		g := New()
+		g.Backward(g.SumAll(g.Scale(p, 1)))
+	}
+	if p.Grad.Data[0] != 3 {
+		t.Fatalf("grads must accumulate across graphs until zeroed: %v", p.Grad.Data[0])
+	}
+}

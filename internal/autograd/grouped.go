@@ -1,0 +1,180 @@
+package autograd
+
+import "taser/internal/tensor"
+
+// GroupedScore computes per-neighborhood attention logits: with keys holding
+// B groups of `group` consecutive rows, out[g][k] = q.Row(g)·keys.Row(g·group+k).
+// This is q·Kᵀ restricted to each root's own neighborhood (TGAT, Eq. 7).
+func (g *Graph) GroupedScore(q, keys *Var, group int) *Var {
+	b := keys.Rows() / group
+	o := g.out(b, group, q.NeedsGrad() || keys.NeedsGrad())
+	tensor.GroupedScoreInto(o.Val, q.Val, keys.Val, group)
+	if o.NeedsGrad() {
+		g.push(func() {
+			for gi := 0; gi < b; gi++ {
+				dS := o.Grad.Row(gi)
+				qrow := q.Val.Row(gi)
+				for k := 0; k < group; k++ {
+					ds := dS[k]
+					if ds == 0 {
+						continue
+					}
+					krow := keys.Val.Row(gi*group + k)
+					if q.NeedsGrad() {
+						dq := q.Grad.Row(gi)
+						for d, kv := range krow {
+							dq[d] += ds * kv
+						}
+					}
+					if keys.NeedsGrad() {
+						dk := keys.Grad.Row(gi*group + k)
+						for d, qv := range qrow {
+							dk[d] += ds * qv
+						}
+					}
+				}
+			}
+		})
+	}
+	return o
+}
+
+// GroupedWeightedSum combines values per neighborhood:
+// out.Row(g) = Σ_k w[g][k]·vals.Row(g·group+k). With w = softmax scores this
+// completes the attention combiner.
+func (g *Graph) GroupedWeightedSum(w, vals *Var, group int) *Var {
+	b := vals.Rows() / group
+	o := g.out(b, vals.Cols(), w.NeedsGrad() || vals.NeedsGrad())
+	tensor.GroupedWeightedSumInto(o.Val, w.Val, vals.Val, group)
+	if o.NeedsGrad() {
+		g.push(func() {
+			for gi := 0; gi < b; gi++ {
+				dOut := o.Grad.Row(gi)
+				wrow := w.Val.Row(gi)
+				for k := 0; k < group; k++ {
+					vrow := vals.Val.Row(gi*group + k)
+					if w.NeedsGrad() {
+						var dot float64
+						for j, v := range vrow {
+							dot += dOut[j] * v
+						}
+						w.Grad.Row(gi)[k] += dot
+					}
+					if vals.NeedsGrad() {
+						dv := vals.Grad.Row(gi*group + k)
+						wv := wrow[k]
+						for j, dv2 := range dOut {
+							dv[j] += wv * dv2
+						}
+					}
+				}
+			}
+		})
+	}
+	return o
+}
+
+// GroupedMatMulLeft applies a shared K2×K weight on the left of every K×C
+// group of src: out group g = w @ src group g. This is MLP-Mixer token mixing
+// (Eq. 16) batched over neighborhoods.
+func (g *Graph) GroupedMatMulLeft(w, src *Var, group int) *Var {
+	k2 := w.Rows()
+	b := src.Rows() / group
+	o := g.out(b*k2, src.Cols(), w.NeedsGrad() || src.NeedsGrad())
+	tensor.GroupedMatMulLeftInto(o.Val, w.Val, src.Val, group)
+	if o.NeedsGrad() {
+		g.push(func() {
+			c := src.Cols()
+			for gi := 0; gi < b; gi++ {
+				for i := 0; i < k2; i++ {
+					dOut := o.Grad.Row(gi*k2 + i)
+					if w.NeedsGrad() {
+						dw := w.Grad.Row(i)
+						for k := 0; k < group; k++ {
+							srow := src.Val.Row(gi*group + k)
+							var dot float64
+							for j := 0; j < c; j++ {
+								dot += dOut[j] * srow[j]
+							}
+							dw[k] += dot
+						}
+					}
+					if src.NeedsGrad() {
+						wrow := w.Val.Row(i)
+						for k := 0; k < group; k++ {
+							wv := wrow[k]
+							if wv == 0 {
+								continue
+							}
+							ds := src.Grad.Row(gi*group + k)
+							for j, d := range dOut {
+								ds[j] += wv * d
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	return o
+}
+
+// MulColVec scales every row i of a by the constant col[i] (an R×1 matrix).
+// With a 0/1 column this masks out padded neighborhood rows.
+func (g *Graph) MulColVec(a *Var, col *tensor.Matrix) *Var {
+	if col.Rows != a.Rows() || col.Cols != 1 {
+		panic("autograd: MulColVec wants an R×1 constant column")
+	}
+	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
+	for i := 0; i < a.Rows(); i++ {
+		s := col.Data[i]
+		src := a.Val.Row(i)
+		dst := o.Val.Row(i)
+		for j, v := range src {
+			dst[j] = v * s
+		}
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i := 0; i < a.Rows(); i++ {
+				s := col.Data[i]
+				if s == 0 {
+					continue
+				}
+				src := o.Grad.Row(i)
+				dst := a.Grad.Row(i)
+				for j, v := range src {
+					dst[j] += v * s
+				}
+			}
+		})
+	}
+	return o
+}
+
+// RepeatRows tiles each row of a `times` times consecutively:
+// out rows [i·times, (i+1)·times) all equal a.Row(i). It broadcasts per-root
+// vectors (e.g. the query's source embedding) across each neighborhood.
+func (g *Graph) RepeatRows(a *Var, times int) *Var {
+	o := g.out(a.Rows()*times, a.Cols(), a.NeedsGrad())
+	for i := 0; i < a.Rows(); i++ {
+		src := a.Val.Row(i)
+		for t := 0; t < times; t++ {
+			copy(o.Val.Row(i*times+t), src)
+		}
+	}
+	if o.NeedsGrad() {
+		g.push(func() {
+			for i := 0; i < a.Rows(); i++ {
+				dst := a.Grad.Row(i)
+				for t := 0; t < times; t++ {
+					src := o.Grad.Row(i*times + t)
+					for j, v := range src {
+						dst[j] += v
+					}
+				}
+			}
+		})
+	}
+	return o
+}

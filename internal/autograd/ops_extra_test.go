@@ -1,0 +1,97 @@
+package autograd
+
+import (
+	"testing"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+func TestGradReshape(t *testing.T) {
+	rng := mathx.NewRNG(20)
+	a := NewParam(tensor.Randn(6, 1, 1, rng))
+	coef := tensor.Randn(2, 3, 1, rng)
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.Reshape(a, 2, 3), coef)
+	}, 1e-6)
+}
+
+func TestReshapePanicsOnCountMismatch(t *testing.T) {
+	g := New()
+	a := NewParam(tensor.New(2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Reshape(a, 4, 2)
+}
+
+func TestGradMulColVec(t *testing.T) {
+	rng := mathx.NewRNG(21)
+	a := NewParam(tensor.Randn(4, 3, 1, rng))
+	col := tensor.FromSlice(4, 1, []float64{1, 0, 0.5, 2})
+	coef := tensor.Randn(4, 3, 1, rng)
+	gradCheck(t, []*Var{a}, func(g *Graph) *Var {
+		return g.WeightedSumConst(g.MulColVec(a, col), coef)
+	}, 1e-6)
+}
+
+func TestMulColVecMasksRows(t *testing.T) {
+	g := New()
+	a := NewParam(tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	col := tensor.FromSlice(2, 1, []float64{0, 1})
+	o := g.MulColVec(a, col)
+	if o.Val.At(0, 0) != 0 || o.Val.At(0, 1) != 0 {
+		t.Fatal("masked row must zero")
+	}
+	if o.Val.At(1, 0) != 3 {
+		t.Fatal("unmasked row must pass through")
+	}
+	// Gradient must not flow into masked rows.
+	g.Backward(g.SumAll(o))
+	if a.Grad.At(0, 0) != 0 || a.Grad.At(1, 0) != 1 {
+		t.Fatalf("mask gradient: %v", a.Grad)
+	}
+}
+
+func TestMulColVecShapePanic(t *testing.T) {
+	g := New()
+	a := NewParam(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.MulColVec(a, tensor.New(3, 1))
+}
+
+func TestOpsCount(t *testing.T) {
+	g := New()
+	a := NewParam(tensor.New(2, 2))
+	_ = g.Add(a, a)
+	_ = g.Sigmoid(a)
+	if g.Ops() != 2 {
+		t.Fatalf("tape length %d", g.Ops())
+	}
+}
+
+func TestGELULargeInputParallelPath(t *testing.T) {
+	// Exercise the parallel chunked path (> 2^14 elements) and verify it
+	// agrees with the scalar definition.
+	rng := mathx.NewRNG(22)
+	a := NewParam(tensor.Randn(200, 100, 1, rng))
+	g := New()
+	o := g.GELU(a)
+	for i, v := range a.Val.Data {
+		if o.Val.Data[i] != mathx.GELU(v) {
+			t.Fatal("parallel GELU mismatch")
+		}
+	}
+	g.Backward(g.SumAll(o))
+	for i, v := range a.Val.Data {
+		if a.Grad.Data[i] != mathx.GELUGrad(v) {
+			t.Fatal("parallel GELU backward mismatch")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package autograd
+
+import (
+	"math"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+// MeanAll reduces a to its scalar mean.
+func (g *Graph) MeanAll(a *Var) *Var {
+	o := g.out(1, 1, a.NeedsGrad())
+	n := float64(len(a.Val.Data))
+	o.Val.Data[0] = a.Val.Sum() / n
+	if o.NeedsGrad() {
+		g.push(func() {
+			d := o.Grad.Data[0] / n
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += d
+			}
+		})
+	}
+	return o
+}
+
+// SumAll reduces a to its scalar sum.
+func (g *Graph) SumAll(a *Var) *Var {
+	o := g.out(1, 1, a.NeedsGrad())
+	o.Val.Data[0] = a.Val.Sum()
+	if o.NeedsGrad() {
+		g.push(func() {
+			d := o.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += d
+			}
+		})
+	}
+	return o
+}
+
+// GroupMean averages each consecutive block of `group` rows (GraphMixer's
+// neighborhood mean, Eq. 9).
+func (g *Graph) GroupMean(a *Var, group int) *Var {
+	o := g.out(a.Rows()/group, a.Cols(), a.NeedsGrad())
+	tensor.GroupMeanInto(o.Val, a.Val, group)
+	if o.NeedsGrad() {
+		g.push(func() {
+			inv := 1 / float64(group)
+			for gi := 0; gi < o.Rows(); gi++ {
+				src := o.Grad.Row(gi)
+				for r := gi * group; r < (gi+1)*group; r++ {
+					dst := a.Grad.Row(r)
+					for j, v := range src {
+						dst[j] += v * inv
+					}
+				}
+			}
+		})
+	}
+	return o
+}
+
+// WeightedSumConst returns the scalar Σ_ij coef[i][j]·a[i][j] where coef is a
+// constant. This is the building block of the REINFORCE sample loss
+// (Eqs. 25–26): coefficients are frozen, only log-probabilities carry grad.
+func (g *Graph) WeightedSumConst(a *Var, coef *tensor.Matrix) *Var {
+	a.Val.SameShapeOrPanic(coef, "WeightedSumConst")
+	o := g.out(1, 1, a.NeedsGrad())
+	var s float64
+	for i, v := range a.Val.Data {
+		s += v * coef.Data[i]
+	}
+	o.Val.Data[0] = s
+	if o.NeedsGrad() {
+		g.push(func() {
+			d := o.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += d * coef.Data[i]
+			}
+		})
+	}
+	return o
+}
+
+// BCEWithLogits computes the mean binary cross-entropy between logits (B×1)
+// and labels (len B), fused with the sigmoid for numerical stability.
+func (g *Graph) BCEWithLogits(logits *Var, labels []float64) *Var {
+	if logits.Cols() != 1 || logits.Rows() != len(labels) {
+		panic("autograd: BCEWithLogits wants B×1 logits matching labels")
+	}
+	o := g.out(1, 1, logits.NeedsGrad())
+	n := float64(len(labels))
+	var loss float64
+	for i, y := range labels {
+		x := logits.Val.Data[i]
+		// log(1+e^x) computed stably: max(x,0) + log1p(e^-|x|)
+		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	o.Val.Data[0] = loss / n
+	if o.NeedsGrad() {
+		g.push(func() {
+			d := o.Grad.Data[0] / n
+			for i, y := range labels {
+				logits.Grad.Data[i] += d * (mathx.Sigmoid(logits.Val.Data[i]) - y)
+			}
+		})
+	}
+	return o
+}
+
+// LayerNormRows normalizes each row, then applies gain and bias (both 1×C
+// parameters).
+func (g *Graph) LayerNormRows(a, gain, bias *Var) *Var {
+	const eps = 1e-5
+	needs := a.NeedsGrad() || gain.NeedsGrad() || bias.NeedsGrad()
+	o := g.out(a.Rows(), a.Cols(), needs)
+	means := make([]float64, a.Rows())
+	invStds := make([]float64, a.Rows())
+	tensor.LayerNormRowsInto(o.Val, a.Val, gain.Val, bias.Val, means, invStds, eps)
+	if o.NeedsGrad() {
+		g.push(func() {
+			c := float64(a.Cols())
+			for i := 0; i < a.Rows(); i++ {
+				x := a.Val.Row(i)
+				dy := o.Grad.Row(i)
+				mean, invStd := means[i], invStds[i]
+				// xhat_j = (x_j - mean)·invStd
+				var sumDyG, sumDyGXhat float64
+				for j, v := range x {
+					xhat := (v - mean) * invStd
+					dg := dy[j] * gain.Val.Data[j]
+					sumDyG += dg
+					sumDyGXhat += dg * xhat
+					if gain.NeedsGrad() {
+						gain.Grad.Data[j] += dy[j] * xhat
+					}
+					if bias.NeedsGrad() {
+						bias.Grad.Data[j] += dy[j]
+					}
+				}
+				if a.NeedsGrad() {
+					dx := a.Grad.Row(i)
+					for j, v := range x {
+						xhat := (v - mean) * invStd
+						dg := dy[j] * gain.Val.Data[j]
+						dx[j] += invStd * (dg - sumDyG/c - xhat*sumDyGXhat/c)
+					}
+				}
+			}
+		})
+	}
+	return o
+}

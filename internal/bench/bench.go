@@ -1,0 +1,116 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// (§IV) against the synthetic datasets: Table I (accuracy), Table II
+// (dataset statistics), Table III (runtime breakdown), Fig. 1 (mini-batch
+// generation bottleneck), Fig. 3a (neighbor-finder comparison), Fig. 3b
+// (cache hit rates vs. the oracle), Fig. 4 (m×n ablation) and the encoder/
+// decoder/cache-policy ablations DESIGN.md calls out.
+//
+// Each experiment takes Options and writes a plain-text table to Out; the
+// cmd/taser-bench binary exposes them behind -exp flags and bench_test.go
+// wires them into `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"taser/internal/datasets"
+	"taser/internal/train"
+)
+
+// Options scales every experiment. The zero value is filled with the quick
+// profile; see Normalize.
+type Options struct {
+	Out io.Writer
+
+	Scale        float64 // dataset scale multiplier (1.0 = DESIGN.md default)
+	Epochs       int     // training epochs for accuracy experiments
+	Hidden       int
+	TimeDim      int
+	BatchSize    int
+	LR           float64
+	MaxEvalEdges int
+	Seed         uint64
+
+	// Datasets restricts experiments to these names (nil = experiment's
+	// default set).
+	Datasets []string
+}
+
+// Normalize fills defaults.
+func (o Options) Normalize() Options {
+	if o.Out == nil {
+		panic("bench: Options.Out is required")
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 6
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 24
+	}
+	if o.TimeDim == 0 {
+		o.TimeDim = 12
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 150
+	}
+	if o.LR == 0 {
+		o.LR = 3e-3
+	}
+	if o.MaxEvalEdges == 0 {
+		o.MaxEvalEdges = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// baseConfig builds the shared training config for accuracy experiments.
+func (o Options) baseConfig(model train.ModelKind) train.Config {
+	return train.Config{
+		Model: model, Finder: train.FinderGPU,
+		Hidden: o.Hidden, TimeDim: o.TimeDim,
+		BatchSize: o.BatchSize, Epochs: o.Epochs, LR: o.LR,
+		CacheRatio: 0.2, MaxEvalEdges: o.MaxEvalEdges, Seed: o.Seed,
+	}
+}
+
+// loadDatasets resolves the requested dataset list (or def when nil).
+func (o Options) loadDatasets(def []string) []*datasets.Dataset {
+	names := o.Datasets
+	if len(names) == 0 {
+		names = def
+	}
+	out := make([]*datasets.Dataset, 0, len(names))
+	for _, n := range names {
+		d, ok := datasets.ByName(n, o.Scale, o.Seed)
+		if !ok {
+			panic(fmt.Sprintf("bench: unknown dataset %q", n))
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+var allNames = []string{"wikipedia", "reddit", "flights", "movielens", "gdelt"}
+
+// Variant labels the four rows of Table I.
+type Variant struct {
+	Name        string
+	AdaBatch    bool
+	AdaNeighbor bool
+}
+
+// Variants returns Table I's rows in paper order.
+func Variants() []Variant {
+	return []Variant{
+		{"Baseline", false, false},
+		{"w/ Ada. Mini-Batch", true, false},
+		{"w/ Ada. Neighbor", false, true},
+		{"TASER", true, true},
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps package tests fast: minuscule datasets, one epoch.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Out: buf, Scale: 0.02, Epochs: 1, Hidden: 8, TimeDim: 6,
+		BatchSize: 64, MaxEvalEdges: 20, Seed: 9,
+		Datasets: []string{"wikipedia"},
+	}
+}
+
+func TestNormalizeRequiresOut(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without Out")
+		}
+	}()
+	Options{}.Normalize()
+}
+
+func TestVariantsOrder(t *testing.T) {
+	v := Variants()
+	if len(v) != 4 || v[0].Name != "Baseline" || v[3].Name != "TASER" {
+		t.Fatalf("variants: %+v", v)
+	}
+	if !v[3].AdaBatch || !v[3].AdaNeighbor {
+		t.Fatal("TASER must enable both components")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Datasets = nil // Table II always lists all five
+	if err := Table2(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"wikipedia", "reddit", "flights", "movielens", "gdelt"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table II missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Baseline", "TASER", "Improvement", "TGAT", "GraphMixer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Baseline", "+GPU NF", "+20% Cache", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	if err := Fig1(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Prep") {
+		t.Fatalf("Fig 1 output:\n%s", buf.String())
+	}
+}
+
+func TestFig3aSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3a(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"origin-cpu", "tgl-cpu", "taser-gpu"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig 3a missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3bSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Epochs = 2
+	if err := Fig3b(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "oracle") {
+		t.Fatalf("Fig 3b output:\n%s", buf.String())
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	// Shrink the grid cost: tiny dataset already set; run as-is.
+	if err := Fig4(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "m=10") || !strings.Contains(out, "n=5") {
+		t.Fatalf("Fig 4 output:\n%s", out)
+	}
+	// n > m cells must be dashes.
+	if !strings.Contains(out, "-") {
+		t.Fatal("triangular grid expected")
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	for name, fn := range map[string]func(Options) error{
+		"encoder":    AblationEncoder,
+		"decoder":    AblationDecoder,
+		"cache":      AblationCache,
+		"heuristics": AblationHeuristics,
+	} {
+		var buf bytes.Buffer
+		if err := fn(tinyOptions(&buf)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+	}
+}

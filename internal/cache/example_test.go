@@ -1,0 +1,25 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"taser/internal/cache"
+)
+
+// ExampleFrequency walks Algorithm 3: accesses train the policy during an
+// epoch; the epoch boundary installs the top-k rows.
+func ExampleFrequency() {
+	pol := cache.NewFrequency(100, 2, 0.7)
+	for i := 0; i < 5; i++ {
+		pol.Access(7) // hot row
+		pol.Access(9) // hot row
+		pol.Access(int32(20 + i))
+	}
+	inserted := pol.EndEpoch()
+	fmt.Println("resident after epoch:", inserted)
+	_, hit := pol.Access(7)
+	fmt.Println("hot row hits now:", hit)
+	// Output:
+	// resident after epoch: [7 9]
+	// hot row hits now: true
+}

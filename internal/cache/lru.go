@@ -1,0 +1,104 @@
+package cache
+
+// LRU is a per-access least-recently-used cache, the conventional baseline
+// for the replacement-policy ablation. Unlike Frequency it mutates residency
+// on every miss, which models the per-access maintenance cost TASER's
+// epoch-granularity policy avoids (§III-D).
+type LRU struct {
+	counters
+	capacity int
+	slots    map[int32]*lruNode
+	head     *lruNode // most recent
+	tail     *lruNode // least recent
+}
+
+type lruNode struct {
+	id         int32
+	slot       int
+	prev, next *lruNode
+}
+
+// NewLRU builds an LRU cache with the given capacity.
+func NewLRU(capacity int) *LRU {
+	return &LRU{capacity: capacity, slots: make(map[int32]*lruNode, capacity)}
+}
+
+// Capacity implements Policy.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Lookup implements Policy.
+func (l *LRU) Lookup(id int32) (int, bool) {
+	n, ok := l.slots[id]
+	if !ok {
+		return 0, false
+	}
+	return n.slot, true
+}
+
+// Access implements Policy. On a hit the row moves to the front; on a miss
+// the least-recently-used row is evicted and its slot is immediately reused
+// for id (the caller is expected to load the row, which is why LRU's
+// maintenance traffic is charged per access).
+func (l *LRU) Access(id int32) (int, bool) {
+	if n, ok := l.slots[id]; ok {
+		l.count(true)
+		l.moveToFront(n)
+		return n.slot, true
+	}
+	l.count(false)
+	if l.capacity == 0 {
+		return 0, false
+	}
+	var n *lruNode
+	if len(l.slots) < l.capacity {
+		n = &lruNode{id: id, slot: len(l.slots)}
+	} else {
+		n = l.tail
+		l.unlink(n)
+		delete(l.slots, n.id)
+		n.id = id
+	}
+	l.slots[id] = n
+	l.pushFront(n)
+	return n.slot, false
+}
+
+// EndEpoch implements Policy; LRU has no epoch-boundary behavior.
+func (l *LRU) EndEpoch() []int32 { return nil }
+
+// Len reports the resident row count.
+func (l *LRU) Len() int { return len(l.slots) }
+
+func (l *LRU) moveToFront(n *lruNode) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if l.head == n {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if l.tail == n {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.next = l.head
+	n.prev = nil
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}

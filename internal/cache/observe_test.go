@@ -1,0 +1,69 @@
+package cache
+
+import "testing"
+
+func TestFrequencyObserveCountsEquivalentToAccess(t *testing.T) {
+	// Bulk observation must produce the same residency evolution and hit
+	// statistics as per-access replay.
+	countsE1 := []int64{5, 0, 3, 0, 9}
+	countsE2 := []int64{0, 7, 3, 0, 9}
+
+	replay := NewFrequency(5, 2, 0.7)
+	bulk := NewFrequency(5, 2, 0.7)
+	for epoch, counts := range [][]int64{countsE1, countsE2} {
+		for id, c := range counts {
+			for i := int64(0); i < c; i++ {
+				replay.Access(int32(id))
+			}
+		}
+		bulk.ObserveCounts(counts)
+		replay.EndEpoch()
+		bulk.EndEpoch()
+		_ = epoch
+	}
+	if replay.HitRate() != bulk.HitRate() {
+		t.Fatalf("hit rates diverge: replay %v bulk %v", replay.HitRate(), bulk.HitRate())
+	}
+	for id := int32(0); id < 5; id++ {
+		_, a := replay.Lookup(id)
+		_, b := bulk.Lookup(id)
+		if a != b {
+			t.Fatalf("residency diverges at id %d", id)
+		}
+	}
+}
+
+func TestOracleObserveCounts(t *testing.T) {
+	o := NewOracle(1)
+	counts := []int64{10, 5}
+	o.Reveal(counts)
+	hits, total := o.ObserveCounts(counts)
+	if total != 15 || hits != 10 {
+		t.Fatalf("hits=%d total=%d", hits, total)
+	}
+	if o.HitRate() != 10.0/15 {
+		t.Fatalf("hit rate %v", o.HitRate())
+	}
+}
+
+func TestOracleDominatesFrequencyOnCounts(t *testing.T) {
+	// Property: for any per-epoch counts, the oracle's epoch hit count is ≥
+	// the frequency policy's (it caches this epoch's true top-k).
+	countSets := [][]int64{
+		{9, 1, 0, 4, 4},
+		{0, 8, 8, 0, 1},
+		{3, 3, 3, 3, 3},
+		{0, 0, 0, 0, 20},
+	}
+	freq := NewFrequency(5, 2, 0.7)
+	oracle := NewOracle(2)
+	for _, counts := range countSets {
+		oracle.Reveal(counts)
+		fh, _ := freq.ObserveCounts(counts)
+		oh, _ := oracle.ObserveCounts(counts)
+		if oh < fh {
+			t.Fatalf("oracle (%d) must dominate frequency (%d) on %v", oh, fh, counts)
+		}
+		freq.EndEpoch()
+	}
+}

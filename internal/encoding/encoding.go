@@ -1,0 +1,126 @@
+// Package encoding implements the fixed encodings TASER's neighbor encoder
+// concatenates into neighbor embeddings (§III-B):
+//
+//   - TimeEncoder: GraphMixer's fixed time encoding Φ(Δt) = cos(Δt·ω) with
+//     ω_i = α^{-(i-1)/β} (Eq. 8), mapping relative timespans to a
+//     d-dimensional vector.
+//   - FreqEncoder: the sinusoidal frequency encoding FE (Eq. 12) over the
+//     number of times a neighbor reappears in the neighborhood.
+//   - Identity: the identity encoding IE (Eq. 13), a per-neighborhood
+//     indicator of which earlier-sorted neighbors are the same node.
+//
+// The learnable time encoding of TGAT (Eq. 3) lives with the model code in
+// internal/models because it carries trainable parameters.
+package encoding
+
+import (
+	"math"
+)
+
+// TimeEncoder is the fixed (non-learnable) time encoding of Eq. 8.
+type TimeEncoder struct {
+	omega []float64
+}
+
+// NewTimeEncoder builds a d-dimensional encoder. alpha and beta default to
+// √d when ≤ 0, the values used by GraphMixer.
+func NewTimeEncoder(d int, alpha, beta float64) *TimeEncoder {
+	if alpha <= 0 {
+		alpha = math.Sqrt(float64(d))
+	}
+	if beta <= 0 {
+		beta = math.Sqrt(float64(d))
+	}
+	e := &TimeEncoder{omega: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		e.omega[i] = math.Pow(alpha, -float64(i)/beta)
+	}
+	return e
+}
+
+// Dim returns the encoding width.
+func (e *TimeEncoder) Dim() int { return len(e.omega) }
+
+// Encode writes cos(dt·ω) into dst (len Dim).
+func (e *TimeEncoder) Encode(dst []float64, dt float64) {
+	for i, w := range e.omega {
+		dst[i] = math.Cos(dt * w)
+	}
+}
+
+// FreqEncoder is the sinusoidal frequency encoding of Eq. 12. Frequencies
+// are small discrete integers, so the transformer positional encoding is the
+// right inductive bias (§III-B).
+type FreqEncoder struct {
+	dim int
+	inv []float64 // precomputed 1/10000^(2i/d)
+}
+
+// NewFreqEncoder builds a d-dimensional encoder (d should be even; an odd
+// final dimension is handled by truncation).
+func NewFreqEncoder(d int) *FreqEncoder {
+	e := &FreqEncoder{dim: d, inv: make([]float64, (d+1)/2)}
+	for i := range e.inv {
+		e.inv[i] = math.Pow(10000, -2*float64(i)/float64(d))
+	}
+	return e
+}
+
+// Dim returns the encoding width.
+func (e *FreqEncoder) Dim() int { return e.dim }
+
+// Encode writes the sin/cos interleaved encoding of freq into dst (len Dim).
+func (e *FreqEncoder) Encode(dst []float64, freq int) {
+	f := float64(freq)
+	for i := 0; i < e.dim; i++ {
+		x := f * e.inv[i/2]
+		if i%2 == 0 {
+			dst[i] = math.Sin(x)
+		} else {
+			dst[i] = math.Cos(x)
+		}
+	}
+}
+
+// Frequencies counts, for each position j in a neighborhood's node list, how
+// many times nodes[j] appears in the whole list. Padding entries (−1) get
+// frequency 0.
+func Frequencies(nodes []int32, out []int) {
+	counts := make(map[int32]int, len(nodes))
+	for _, u := range nodes {
+		if u >= 0 {
+			counts[u]++
+		}
+	}
+	for j, u := range nodes {
+		if u < 0 {
+			out[j] = 0
+		} else {
+			out[j] = counts[u]
+		}
+	}
+}
+
+// Identity writes the identity encoding (Eq. 13) for a neighborhood of
+// budget entries sorted most-recent-first: row j gets IE(u_j, i) = 1 iff
+// u_j == u_i, for i < budget. dst must have budget·budget elements laid out
+// row-major. Padding entries (−1) produce zero rows.
+func Identity(nodes []int32, dst []float64, budget int) {
+	if len(nodes) != budget || len(dst) != budget*budget {
+		panic("encoding: Identity shape")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j := 0; j < budget; j++ {
+		if nodes[j] < 0 {
+			continue
+		}
+		row := dst[j*budget : (j+1)*budget]
+		for i := 0; i < budget; i++ {
+			if nodes[i] == nodes[j] {
+				row[i] = 1
+			}
+		}
+	}
+}

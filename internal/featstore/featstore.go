@@ -1,0 +1,113 @@
+// Package featstore serves node/edge feature rows to the training loop
+// through the simulated GPU memory hierarchy: a VRAM-resident cache front-end
+// (managed by a cache.Policy) backed by host RAM reached over PCIe zero-copy
+// (§III-D). Slicing both performs the real copy and charges the transfer cost
+// model, so benchmark breakdowns reflect cache behavior.
+package featstore
+
+import (
+	"fmt"
+
+	"taser/internal/cache"
+	"taser/internal/device"
+	"taser/internal/tensor"
+)
+
+// Store is one feature matrix (e.g. all edge features) behind a cache.
+type Store struct {
+	host   *tensor.Matrix // numRows×dim, lives in "RAM"
+	vram   *tensor.Matrix // capacity×dim, lives in "VRAM"
+	policy cache.Policy   // nil means uncached: every read goes over PCIe
+	stats  *device.XferStats
+}
+
+// New builds a store over host features. policy may be nil for the uncached
+// baseline. stats may be nil to disable accounting.
+func New(host *tensor.Matrix, policy cache.Policy, stats *device.XferStats) *Store {
+	s := &Store{host: host, policy: policy, stats: stats}
+	if policy != nil && policy.Capacity() > 0 {
+		s.vram = tensor.New(policy.Capacity(), host.Cols)
+	}
+	return s
+}
+
+// Dim returns the feature width.
+func (s *Store) Dim() int { return s.host.Cols }
+
+// NumRows returns the backing row count.
+func (s *Store) NumRows() int { return s.host.Rows }
+
+// rowBytes is the transfer size of one feature row.
+func (s *Store) rowBytes() int64 { return int64(s.host.Cols) * 8 }
+
+// Slice copies feature rows ids[i] into dst row i. Negative ids produce zero
+// rows (neighborhood padding). Rows resident in the cache are served from
+// VRAM; the rest are fetched over PCIe and the access is reported to the
+// cache policy so it can learn the pattern.
+func (s *Store) Slice(ids []int32, dst *tensor.Matrix) {
+	if dst.Rows != len(ids) || dst.Cols != s.host.Cols {
+		panic(fmt.Sprintf("featstore: Slice dst %dx%d want %dx%d",
+			dst.Rows, dst.Cols, len(ids), s.host.Cols))
+	}
+	for i, id := range ids {
+		out := dst.Row(i)
+		if id < 0 {
+			for j := range out {
+				out[j] = 0
+			}
+			continue
+		}
+		if s.policy != nil {
+			if slot, hit := s.policy.Access(id); hit {
+				copy(out, s.vram.Row(slot))
+				if s.stats != nil {
+					s.stats.Record(device.XferVRAM, s.rowBytes())
+				}
+				// LRU-style policies may have rotated residency on a miss;
+				// Frequency never does mid-epoch, so a hit is always valid.
+				continue
+			} else if slot, ok := s.policy.Lookup(id); ok {
+				// Per-access policy (LRU) inserted id on the miss: load the
+				// row into its new slot. Maintenance traffic is PCIe.
+				copy(s.vram.Row(slot), s.host.Row(int(id)))
+			}
+		}
+		copy(out, s.host.Row(int(id)))
+		if s.stats != nil {
+			s.stats.Record(device.XferPCIe, s.rowBytes())
+		}
+	}
+}
+
+// EndEpoch advances the cache policy and loads newly resident rows into
+// VRAM. The refill is charged as PCIe maintenance traffic.
+func (s *Store) EndEpoch() {
+	if s.policy == nil {
+		return
+	}
+	s.Refill(s.policy.EndEpoch())
+}
+
+// Refill loads rows (already marked resident by the policy) into their VRAM
+// slots. Exposed for the Oracle policy, whose residency changes via Reveal.
+func (s *Store) Refill(inserted []int32) {
+	if s.policy == nil || s.vram == nil {
+		return
+	}
+	for _, id := range inserted {
+		slot, ok := s.policy.Lookup(id)
+		if !ok {
+			panic(fmt.Sprintf("featstore: refill id %d not resident", id))
+		}
+		copy(s.vram.Row(slot), s.host.Row(int(id)))
+		if s.stats != nil {
+			s.stats.Record(device.XferPCIe, s.rowBytes())
+		}
+	}
+}
+
+// Policy exposes the cache policy (nil when uncached).
+func (s *Store) Policy() cache.Policy { return s.policy }
+
+// Host exposes the backing matrix (read-only by convention).
+func (s *Store) Host() *tensor.Matrix { return s.host }

@@ -1,0 +1,84 @@
+package mathx
+
+import "math"
+
+// Sigmoid returns 1/(1+e^-x) computed in a numerically stable way.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// GELU is the Gaussian error linear unit (tanh approximation, as used by
+// MLP-Mixer and most transformer stacks).
+func GELU(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// GELUGrad is d GELU(x)/dx for the tanh approximation.
+func GELUGrad(x float64) float64 {
+	const c = 0.7978845608028654
+	inner := c * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	sech2 := 1 - t*t
+	return 0.5*(1+t) + 0.5*x*sech2*c*(1+3*0.044715*x*x)
+}
+
+// LeakyReLU with the conventional 0.2 negative slope used by GAT.
+func LeakyReLU(x, slope float64) float64 {
+	if x >= 0 {
+		return x
+	}
+	return slope * x
+}
+
+// LogSumExp returns log(sum(exp(xs))) stably.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MinInt and MaxInt avoid importing cmp for two call sites.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

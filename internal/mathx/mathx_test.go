@@ -1,0 +1,276 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("adjacent seeds must not collide")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(4)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Fatalf("bucket %d count %d far from %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal moments mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(6)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams should differ")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0)")
+	}
+	if Sigmoid(1000) != 1 || Sigmoid(-1000) != 0 {
+		t.Fatal("sigmoid must saturate without NaN")
+	}
+	// Symmetry property.
+	err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return math.Abs(Sigmoid(x)+Sigmoid(-x)-1) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGELUGradMatchesFiniteDiff(t *testing.T) {
+	for _, x := range []float64{-3, -1, -0.1, 0, 0.1, 1, 3} {
+		const h = 1e-6
+		fd := (GELU(x+h) - GELU(x-h)) / (2 * h)
+		if math.Abs(fd-GELUGrad(x)) > 1e-5 {
+			t.Fatalf("GELUGrad(%v)=%v finite diff %v", x, GELUGrad(x), fd)
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	if LeakyReLU(2, 0.2) != 2 || LeakyReLU(-2, 0.2) != -0.4 {
+		t.Fatal("LeakyReLU")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Fatalf("LogSumExp got %v", got)
+	}
+	// Large inputs must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Fatalf("LogSumExp overflow handling: %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp")
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	r := NewRNG(7)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[WeightedChoice(r, weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 0.05*draws {
+			t.Fatalf("weight %d: count %d want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestWeightedSampleNoReplaceDistinct(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + int(seed%20)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() + 0.01
+		}
+		k := 1 + int(seed>>8)%n
+		got := WeightedSampleNoReplace(r, weights, k)
+		if len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSampleNoReplaceSkipsZeros(t *testing.T) {
+	r := NewRNG(8)
+	weights := []float64{0, 1, 0, 1, 0}
+	for trial := 0; trial < 100; trial++ {
+		got := WeightedSampleNoReplace(r, weights, 2)
+		for _, i := range got {
+			if i != 1 && i != 3 {
+				t.Fatalf("selected zero-weight index %d", i)
+			}
+		}
+	}
+	// Asking for more than available truncates.
+	if got := WeightedSampleNoReplace(r, weights, 4); len(got) != 2 {
+		t.Fatalf("want truncation to 2, got %d", len(got))
+	}
+}
+
+func TestWeightedSampleBiasTowardHeavy(t *testing.T) {
+	r := NewRNG(9)
+	weights := []float64{1, 1, 1, 1, 16}
+	heavy := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, idx := range WeightedSampleNoReplace(r, weights, 1) {
+			if idx == 4 {
+				heavy++
+			}
+		}
+	}
+	frac := float64(heavy) / trials
+	if frac < 0.75 || frac > 0.85 { // expect 16/20 = 0.8
+		t.Fatalf("heavy item frequency %v, want ~0.8", frac)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := NewRNG(10)
+	weights := []float64{5, 1, 3, 1}
+	a := NewAlias(weights)
+	counts := make([]int, len(weights))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 0.05*draws {
+			t.Fatalf("alias bucket %d: %d want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	if MinInt(1, 2) != 1 || MaxInt(1, 2) != 2 {
+		t.Fatal("MinInt/MaxInt")
+	}
+}

@@ -1,0 +1,130 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// WeightedChoice draws one index from the unnormalized non-negative weights.
+// It panics if the weights sum to zero or are empty.
+func WeightedChoice(r *RNG, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 || len(weights) == 0 {
+		panic("mathx: WeightedChoice with non-positive total weight")
+	}
+	u := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// WeightedSampleNoReplace draws k distinct indices from the unnormalized
+// non-negative weights using the Efraimidis–Spirakis exponential-key method:
+// each item i receives key u_i^(1/w_i) and the k largest keys win. Items with
+// zero weight are never selected unless fewer than k positive-weight items
+// exist, in which case the result is truncated. The returned indices are in
+// descending key order (effectively random order).
+func WeightedSampleNoReplace(r *RNG, weights []float64, k int) []int {
+	type kv struct {
+		key float64
+		idx int
+	}
+	items := make([]kv, 0, len(weights))
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		// log(u)/w is a monotone transform of u^(1/w); avoids pow.
+		key := math.Log(r.Float64()) / w
+		items = append(items, kv{key, i})
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].key > items[b].key })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].idx
+	}
+	return out
+}
+
+// Alias is Walker's alias method for O(1) draws from a fixed discrete
+// distribution. Build cost is O(n).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from unnormalized non-negative weights.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("mathx: NewAlias with empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("mathx: NewAlias with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("mathx: NewAlias with zero total weight")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Draw samples one index.
+func (a *Alias) Draw(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len reports the table size.
+func (a *Alias) Len() int { return len(a.prob) }

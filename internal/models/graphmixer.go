@@ -1,0 +1,84 @@
+package models
+
+import (
+	"taser/internal/autograd"
+	"taser/internal/encoding"
+	"taser/internal/mathx"
+	"taser/internal/nn"
+	"taser/internal/tensor"
+)
+
+// GraphMixerConfig configures the GraphMixer backbone.
+type GraphMixerConfig struct {
+	NodeDim   int
+	EdgeDim   int
+	HiddenDim int
+	TimeDim   int
+	Budget    int // supporting neighbors (single hop)
+}
+
+// GraphMixer is the technically simple one-layer backbone of Cong et al.
+// (ICLR 2023): most-recent neighbors, a fixed time encoding (Eq. 8), one
+// MLP-Mixer block over the neighborhood tokens, and a mean readout (Eq. 9).
+type GraphMixer struct {
+	cfg     GraphMixerConfig
+	timeEnc *encoding.TimeEncoder
+	tokenIn *nn.Linear // (dN+dE+dT) → d token projection
+	mixer   *nn.MixerBlock
+	readout *nn.Linear // (d+dN) → d combining neighborhood mean with self
+}
+
+// NewGraphMixer builds the model.
+func NewGraphMixer(cfg GraphMixerConfig, rng *mathx.RNG) *GraphMixer {
+	return &GraphMixer{
+		cfg:     cfg,
+		timeEnc: encoding.NewTimeEncoder(cfg.TimeDim, 0, 0),
+		tokenIn: nn.NewLinear(cfg.NodeDim+cfg.EdgeDim+cfg.TimeDim, cfg.HiddenDim, rng),
+		mixer:   nn.NewMixerBlock(cfg.Budget, cfg.HiddenDim, 0, 2*cfg.HiddenDim, rng),
+		readout: nn.NewLinear(cfg.HiddenDim+cfg.NodeDim, cfg.HiddenDim, rng),
+	}
+}
+
+// NumLayers implements TGNN.
+func (m *GraphMixer) NumLayers() int { return 1 }
+
+// HiddenDim implements TGNN.
+func (m *GraphMixer) HiddenDim() int { return m.cfg.HiddenDim }
+
+// Params implements TGNN.
+func (m *GraphMixer) Params() []*autograd.Var {
+	return nn.CollectParams(m.tokenIn, m.mixer, m.readout)
+}
+
+// Forward implements TGNN (Eqs. 8–9).
+func (m *GraphMixer) Forward(g *autograd.Graph, mb *MiniBatch) (*autograd.Var, *CoTrainInfo) {
+	if err := mb.Validate(); err != nil {
+		panic(err)
+	}
+	if len(mb.Layers) != 1 {
+		panic("models: GraphMixer is single-layer")
+	}
+	block := mb.Layers[0]
+	t, n := block.NumTargets, block.Budget
+	h := autograd.NewConst(mb.LeafFeat)
+	hT, hN := splitTargetsNbrs(g, h, t, n)
+
+	// Fixed time encoding of each neighbor's Δt (Eq. 8), computed outside
+	// the graph since it carries no parameters.
+	phi := tensor.New(t*n, m.cfg.TimeDim)
+	for i := 0; i < t*n; i++ {
+		m.timeEnc.Encode(phi.Row(i), block.DeltaT.Data[i])
+	}
+
+	tokens := g.ConcatCols(hN, autograd.NewConst(block.EdgeFeat), autograd.NewConst(phi))
+	tokens = g.MulColVec(m.tokenIn.Apply(g, tokens), block.MaskCol) // zero padding
+	mixed := m.mixer.Apply(g, tokens)
+	mixed = g.MulColVec(mixed, block.MaskCol)
+	mean := g.GroupMean(mixed, n)
+	out := g.GELU(m.readout.Apply(g, g.ConcatCols(mean, hT)))
+
+	info := &CoTrainInfo{Budget: n, Out: out, Tokens: mixed}
+	return out, info
+}
+
+var _ TGNN = (*GraphMixer)(nil)

@@ -1,0 +1,142 @@
+// Package models implements the two backbone TGNNs TASER is evaluated on
+// (§II-B): TGAT's self-attention temporal aggregator with a learnable time
+// encoding (Eqs. 3–7) and GraphMixer's MLP-Mixer aggregator with a fixed
+// time encoding (Eqs. 8–9), plus the link-prediction edge decoder. Both
+// models consume the same MiniBatch layout so the training loop, neighbor
+// finders and adaptive sampler compose with either.
+package models
+
+import (
+	"fmt"
+
+	"taser/internal/autograd"
+	"taser/internal/tensor"
+)
+
+// LayerBlock holds one hop of sampled neighborhoods in the flat layout
+// produced by the samplers: target i's neighbors occupy rows
+// [i·Budget, (i+1)·Budget) of every per-neighbor array.
+type LayerBlock struct {
+	NumTargets int
+	Budget     int
+
+	// NbrNodes are the flattened neighbor node ids (−1 for padding). The
+	// model itself only needs them for diagnostics; the adaptive sampler's
+	// encoder consumes them for frequency/identity encodings.
+	NbrNodes []int32
+	// EdgeFeat holds sliced edge features, (T·Budget)×dE (dE may be 0).
+	EdgeFeat *tensor.Matrix
+	// DeltaT is the per-entry timespan t_target − t_edge, (T·Budget)×1.
+	DeltaT *tensor.Matrix
+	// Mask is 1 for valid entries, 0 for padding, T×Budget.
+	Mask *tensor.Matrix
+	// MaskCol is the same mask flattened to (T·Budget)×1.
+	MaskCol *tensor.Matrix
+	// MaskBias is (Mask−1)·1e9, added to attention logits so padded entries
+	// vanish under softmax.
+	MaskBias *tensor.Matrix
+}
+
+// NewLayerBlock allocates a block for t targets with the given budget and
+// edge-feature width.
+func NewLayerBlock(t, budget, edgeDim int) *LayerBlock {
+	return &LayerBlock{
+		NumTargets: t,
+		Budget:     budget,
+		NbrNodes:   make([]int32, t*budget),
+		EdgeFeat:   tensor.New(t*budget, edgeDim),
+		DeltaT:     tensor.New(t*budget, 1),
+		Mask:       tensor.New(t, budget),
+		MaskCol:    tensor.New(t*budget, 1),
+		MaskBias:   tensor.New(t, budget),
+	}
+}
+
+// SetEntry fills neighbor slot (i, j) as valid with the given timespan.
+func (b *LayerBlock) SetEntry(i, j int, node int32, deltaT float64) {
+	s := i*b.Budget + j
+	b.NbrNodes[s] = node
+	b.DeltaT.Data[s] = deltaT
+	b.Mask.Data[s] = 1
+	b.MaskCol.Data[s] = 1
+	b.MaskBias.Data[s] = 0
+}
+
+// FinishMask must be called after all SetEntry calls: it writes the −1e9
+// bias for every slot that remained padding.
+func (b *LayerBlock) FinishMask() {
+	for s, v := range b.Mask.Data {
+		if v == 0 {
+			b.MaskBias.Data[s] = -1e9
+			b.NbrNodes[s] = -1
+		}
+	}
+}
+
+// MiniBatch is the fully materialized input of one TGNN forward pass.
+// Layers[0] is the innermost aggregation (operating on raw features);
+// Layers[L−1] is the outermost, whose targets are the batch roots.
+//
+// Layout invariant: the targets of Layers[k−1] are Layers[k]'s targets
+// followed by Layers[k]'s flattened neighbors, so the embeddings produced by
+// aggregation k−1 line up as [target rows | neighbor rows] for aggregation k.
+// LeafFeat holds h⁰ (raw node features, width may be 0) for Layers[0]'s
+// targets followed by their neighbors.
+type MiniBatch struct {
+	Layers   []*LayerBlock
+	LeafFeat *tensor.Matrix
+}
+
+// Validate checks the layout invariant; models call it before forward.
+func (mb *MiniBatch) Validate() error {
+	if len(mb.Layers) == 0 {
+		return fmt.Errorf("models: minibatch has no layers")
+	}
+	for k := 1; k < len(mb.Layers); k++ {
+		inner, outer := mb.Layers[k-1], mb.Layers[k]
+		want := outer.NumTargets * (1 + outer.Budget)
+		if inner.NumTargets != want {
+			return fmt.Errorf("models: layer %d has %d targets, want %d (outer targets+neighbors)",
+				k-1, inner.NumTargets, want)
+		}
+	}
+	leaf := mb.Layers[0]
+	if mb.LeafFeat.Rows != leaf.NumTargets*(1+leaf.Budget) {
+		return fmt.Errorf("models: leaf features have %d rows, want %d",
+			mb.LeafFeat.Rows, leaf.NumTargets*(1+leaf.Budget))
+	}
+	return nil
+}
+
+// Roots returns the number of root targets (outermost layer).
+func (mb *MiniBatch) Roots() int { return mb.Layers[len(mb.Layers)-1].NumTargets }
+
+// CoTrainInfo exposes the internals of the outermost aggregation that the
+// REINFORCE sample loss needs (Eqs. 25–26): it is captured during Forward
+// and consumed by the adaptive package after Backward has populated
+// Out.Grad = dL/dh.
+type CoTrainInfo struct {
+	Budget int
+	Out    *autograd.Var // roots×d final embeddings
+
+	// TGAT (Eq. 25): normalized attention, raw scores, and value rows.
+	Attn   *autograd.Var // roots×n
+	Scores *autograd.Var // roots×n (unnormalized a_ij)
+	Vals   *autograd.Var // (roots·n)×d
+
+	// GraphMixer (Eq. 26, folded form): masked output tokens.
+	Tokens *autograd.Var // (roots·n)×d
+}
+
+// TGNN is the interface shared by both backbones.
+type TGNN interface {
+	// Forward computes root embeddings; info captures co-training internals
+	// for the outermost layer.
+	Forward(g *autograd.Graph, mb *MiniBatch) (out *autograd.Var, info *CoTrainInfo)
+	// NumLayers reports the hop depth (TGAT: 2, GraphMixer: 1).
+	NumLayers() int
+	// HiddenDim reports the embedding width.
+	HiddenDim() int
+	// Params exposes all trainable parameters.
+	Params() []*autograd.Var
+}

@@ -1,0 +1,156 @@
+// Package stats provides streaming summaries (Welford mean/variance),
+// lightweight timers, and histogram helpers used by the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a streaming mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample into the summary.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty summary).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min and Max return the extrema seen so far.
+func (w *Welford) Min() float64 { return w.min }
+func (w *Welford) Max() float64 { return w.max }
+
+// String formats as "mean±std (n)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4f±%.4f (n=%d)", w.Mean(), w.Std(), w.n)
+}
+
+// Timer accumulates named durations; it powers the NF/AS/FS/PP runtime
+// breakdowns in Table III and Fig. 1.
+type Timer struct {
+	buckets map[string]time.Duration
+	order   []string
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer {
+	return &Timer{buckets: make(map[string]time.Duration)}
+}
+
+// Add charges d to bucket name.
+func (t *Timer) Add(name string, d time.Duration) {
+	if _, ok := t.buckets[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.buckets[name] += d
+}
+
+// Time runs f and charges its wall time to bucket name.
+func (t *Timer) Time(name string, f func()) {
+	start := time.Now()
+	f()
+	t.Add(name, time.Since(start))
+}
+
+// Get returns the accumulated duration for name.
+func (t *Timer) Get(name string) time.Duration { return t.buckets[name] }
+
+// Total sums every bucket.
+func (t *Timer) Total() time.Duration {
+	var total time.Duration
+	for _, d := range t.buckets {
+		total += d
+	}
+	return total
+}
+
+// Reset zeroes all buckets while keeping their order.
+func (t *Timer) Reset() {
+	for k := range t.buckets {
+		t.buckets[k] = 0
+	}
+}
+
+// Names returns bucket names in first-use order.
+func (t *Timer) Names() []string { return append([]string(nil), t.order...) }
+
+// Breakdown formats each bucket as seconds with its share of the total.
+func (t *Timer) Breakdown() string {
+	total := t.Total()
+	s := ""
+	for _, name := range t.order {
+		d := t.buckets[name]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		s += fmt.Sprintf("%s=%.3fs(%.0f%%) ", name, d.Seconds(), pct)
+	}
+	return s + fmt.Sprintf("total=%.3fs", total.Seconds())
+}
+
+// Quantile returns the q-quantile (0≤q≤1) of xs by sorting a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatal("N")
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatal("min/max")
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty variance must be 0")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatal("single-sample stats")
+	}
+}
+
+func TestTimerBuckets(t *testing.T) {
+	tm := NewTimer()
+	tm.Add("a", time.Second)
+	tm.Add("b", 2*time.Second)
+	tm.Add("a", time.Second)
+	if tm.Get("a") != 2*time.Second {
+		t.Fatal("accumulation")
+	}
+	if tm.Total() != 4*time.Second {
+		t.Fatal("total")
+	}
+	names := tm.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("order: %v", names)
+	}
+	tm.Reset()
+	if tm.Total() != 0 {
+		t.Fatal("reset")
+	}
+	if len(tm.Names()) != 2 {
+		t.Fatal("reset must keep bucket names")
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("x", func() { time.Sleep(time.Millisecond) })
+	if tm.Get("x") <= 0 {
+		t.Fatal("Time must record elapsed wall clock")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatal("median")
+	}
+	if math.Abs(Quantile(xs, 0.25)-2) > 1e-12 {
+		t.Fatal("q25")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty input must be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean must be NaN")
+	}
+}

@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxRowsInto writes the row-wise softmax of src into dst (may alias).
+func SoftmaxRowsInto(dst, src *Matrix) {
+	src.shapeCheck(dst, "SoftmaxRows")
+	for i := 0; i < src.Rows; i++ {
+		in := src.Row(i)
+		out := dst.Row(i)
+		m := in[0]
+		for _, v := range in[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for j, v := range in {
+			e := math.Exp(v - m)
+			out[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+// LayerNormRowsInto normalizes each row of src to zero mean / unit variance,
+// then applies the per-column gain g and bias b (both 1×C). meanOut/invStdOut
+// (len Rows) receive the per-row statistics needed for the backward pass; they
+// may be nil for inference.
+func LayerNormRowsInto(dst, src, g, b *Matrix, meanOut, invStdOut []float64, eps float64) {
+	src.shapeCheck(dst, "LayerNormRows")
+	if g.Cols != src.Cols || b.Cols != src.Cols {
+		panic("tensor: LayerNormRows gain/bias width")
+	}
+	c := float64(src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		in := src.Row(i)
+		out := dst.Row(i)
+		var mean float64
+		for _, v := range in {
+			mean += v
+		}
+		mean /= c
+		var variance float64
+		for _, v := range in {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= c
+		invStd := 1 / math.Sqrt(variance+eps)
+		if meanOut != nil {
+			meanOut[i] = mean
+			invStdOut[i] = invStd
+		}
+		for j, v := range in {
+			out[j] = (v-mean)*invStd*g.Data[j] + b.Data[j]
+		}
+	}
+}
+
+// GatherRowsInto copies src rows idx[i] into dst row i.
+func GatherRowsInto(dst, src *Matrix, idx []int32) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: GatherRows dst %dx%d for %d idx of width %d",
+			dst.Rows, dst.Cols, len(idx), src.Cols))
+	}
+	for i, id := range idx {
+		copy(dst.Row(i), src.Row(int(id)))
+	}
+}
+
+// ScatterAddRows accumulates src row i into dst row idx[i].
+func ScatterAddRows(dst, src *Matrix, idx []int32) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape")
+	}
+	for i, id := range idx {
+		drow := dst.Row(int(id))
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
+}
+
+// ConcatColsInto writes the column-wise concatenation of parts into dst.
+// Every part must have dst.Rows rows and the widths must sum to dst.Cols.
+func ConcatColsInto(dst *Matrix, parts ...*Matrix) {
+	off := 0
+	for _, p := range parts {
+		if p.Rows != dst.Rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		for i := 0; i < p.Rows; i++ {
+			copy(dst.Row(i)[off:off+p.Cols], p.Row(i))
+		}
+		off += p.Cols
+	}
+	if off != dst.Cols {
+		panic(fmt.Sprintf("tensor: ConcatCols widths sum to %d, dst has %d", off, dst.Cols))
+	}
+}
+
+// SliceColsInto extracts columns [lo, hi) of src into dst.
+func SliceColsInto(dst, src *Matrix, lo, hi int) {
+	if dst.Rows != src.Rows || dst.Cols != hi-lo || lo < 0 || hi > src.Cols {
+		panic("tensor: SliceCols shape")
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[lo:hi])
+	}
+}
+
+// GroupMeanInto averages each consecutive group of `group` rows of src into
+// one row of dst: dst row g = mean(src rows [g*group, (g+1)*group)).
+func GroupMeanInto(dst, src *Matrix, group int) {
+	if src.Rows%group != 0 || dst.Rows != src.Rows/group || dst.Cols != src.Cols {
+		panic("tensor: GroupMean shape")
+	}
+	inv := 1 / float64(group)
+	for g := 0; g < dst.Rows; g++ {
+		out := dst.Row(g)
+		for j := range out {
+			out[j] = 0
+		}
+		for r := g * group; r < (g+1)*group; r++ {
+			row := src.Row(r)
+			for j, v := range row {
+				out[j] += v
+			}
+		}
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+// GroupedScoreInto computes per-group dot products: for each group g of
+// `group` consecutive rows of keys, scores[g][k] = q.Row(g) · keys.Row(g*group+k).
+// scores must be (keys.Rows/group)×group; q must be (keys.Rows/group)×d.
+func GroupedScoreInto(scores, q, keys *Matrix, group int) {
+	b := keys.Rows / group
+	if keys.Rows%group != 0 || q.Rows != b || q.Cols != keys.Cols ||
+		scores.Rows != b || scores.Cols != group {
+		panic("tensor: GroupedScore shape")
+	}
+	for g := 0; g < b; g++ {
+		qrow := q.Row(g)
+		out := scores.Row(g)
+		for k := 0; k < group; k++ {
+			krow := keys.Row(g*group + k)
+			var s float64
+			for d, qv := range qrow {
+				s += qv * krow[d]
+			}
+			out[k] = s
+		}
+	}
+}
+
+// GroupedWeightedSumInto computes, for each group g,
+// dst.Row(g) = Σ_k w[g][k] · vals.Row(g*group+k).
+func GroupedWeightedSumInto(dst, w, vals *Matrix, group int) {
+	b := vals.Rows / group
+	if vals.Rows%group != 0 || w.Rows != b || w.Cols != group ||
+		dst.Rows != b || dst.Cols != vals.Cols {
+		panic("tensor: GroupedWeightedSum shape")
+	}
+	for g := 0; g < b; g++ {
+		wrow := w.Row(g)
+		out := dst.Row(g)
+		for j := range out {
+			out[j] = 0
+		}
+		for k := 0; k < group; k++ {
+			wv := wrow[k]
+			if wv == 0 {
+				continue
+			}
+			vrow := vals.Row(g*group + k)
+			for j, v := range vrow {
+				out[j] += wv * v
+			}
+		}
+	}
+}
+
+// GroupedMatMulLeftInto applies the shared K2×K matrix w on the left of each
+// K×C group of src: for group g, dst rows [g*K2,(g+1)*K2) = w @ src rows
+// [g*K,(g+1)*K). This is MLP-Mixer token mixing over per-root neighborhoods.
+func GroupedMatMulLeftInto(dst, w, src *Matrix, group int) {
+	k2 := w.Rows
+	if w.Cols != group || src.Rows%group != 0 {
+		panic("tensor: GroupedMatMulLeft shape")
+	}
+	b := src.Rows / group
+	if dst.Rows != b*k2 || dst.Cols != src.Cols {
+		panic("tensor: GroupedMatMulLeft dst shape")
+	}
+	c := src.Cols
+	body := func(gLo, gHi int) {
+		for g := gLo; g < gHi; g++ {
+			for i := 0; i < k2; i++ {
+				out := dst.Row(g*k2 + i)
+				for j := range out {
+					out[j] = 0
+				}
+				wrow := w.Row(i)
+				for k := 0; k < group; k++ {
+					wv := wrow[k]
+					if wv == 0 {
+						continue
+					}
+					srow := src.Data[(g*group+k)*c : (g*group+k+1)*c]
+					for j, v := range srow {
+						out[j] += wv * v
+					}
+				}
+			}
+		}
+	}
+	if b*k2*group*c < parallelThreshold {
+		body(0, b)
+		return
+	}
+	parallelRows(b, body)
+}

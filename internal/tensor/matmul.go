@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul stays
+// single-threaded; goroutine fan-out costs more than it saves on tiny inputs.
+const parallelThreshold = 1 << 16
+
+var workerCount = runtime.GOMAXPROCS(0)
+
+// MatMulInto computes dst = a @ b. dst must be pre-shaped a.Rows×b.Cols and
+// must not alias a or b. Large products are split across worker goroutines
+// by row block.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || workerCount == 1 {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+// matMulRange computes rows [lo, hi) of dst = a @ b with an ikj loop order
+// that streams b row-wise for cache efficiency.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMul allocates and returns a @ b.
+func MatMul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MatMulInto(dst, a, b)
+	return dst
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ without materializing bᵀ.
+func MatMulTransBInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB %dx%d @ (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulTransBInto dst shape")
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold || workerCount == 1 {
+		body(0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, body)
+}
+
+// MatMulTransB allocates and returns a @ bᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Rows)
+	MatMulTransBInto(dst, a, b)
+	return dst
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b, accumulating into dst (dst is NOT
+// zeroed first — this is the gradient-accumulation form used by autograd).
+// Large products are parallelized across dst row blocks: each worker owns a
+// disjoint set of dst rows, so no synchronization is needed.
+func MatMulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA (%dx%d)ᵀ @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulTransAInto dst shape")
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || workerCount == 1 || dst.Rows == 1 {
+		matMulTransARange(dst, a, b, 0, dst.Rows)
+		return
+	}
+	parallelRows(dst.Rows, func(lo, hi int) { matMulTransARange(dst, a, b, lo, hi) })
+}
+
+// matMulTransARange accumulates dst rows [lo, hi) of aᵀ @ b. The i-outer
+// order keeps each worker's writes confined to its own dst rows; the strided
+// read of a's column i costs one load per k against a p-length accumulate.
+func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*n+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// parallelRows splits [0, rows) across the worker pool and blocks until all
+// chunks complete.
+func parallelRows(rows int, body func(lo, hi int)) {
+	workers := workerCount
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the row-block scheduler for other packages' kernels.
+func ParallelRows(rows int, body func(lo, hi int)) { parallelRows(rows, body) }

@@ -1,0 +1,200 @@
+// Package tensor implements dense float64 matrices and the compute kernels
+// the TGNN stack is built on: parallel matrix multiply, row softmax, layer
+// normalization, and grouped (per-neighborhood) operations.
+//
+// Matrices are row-major. Kernels never retain their arguments and always
+// write into caller-owned destinations when the name ends in "Into";
+// otherwise they allocate.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"taser/internal/mathx"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: New(%d, %d) with negative dimension", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (not copied) as an r×c matrix.
+func FromSlice(r, c int, data []float64) *Matrix {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice(%d, %d) with %d elements", r, c, len(data)))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: data}
+}
+
+// Randn fills a new r×c matrix with N(0, std²) entries.
+func Randn(r, c int, std float64, rng *mathx.RNG) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (no copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool {
+	return m.Rows == o.Rows && m.Cols == o.Cols
+}
+
+func (m *Matrix) shapeCheck(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// SameShapeOrPanic panics with the operation name if shapes differ.
+func (m *Matrix) SameShapeOrPanic(o *Matrix, op string) { m.shapeCheck(o, op) }
+
+// AddInPlace adds o element-wise into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	m.shapeCheck(o, "AddInPlace")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts o element-wise from m.
+func (m *Matrix) SubInPlace(o *Matrix) {
+	m.shapeCheck(o, "SubInPlace")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies m by o element-wise (Hadamard).
+func (m *Matrix) MulInPlace(o *Matrix) {
+	m.shapeCheck(o, "MulInPlace")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes m += alpha*o.
+func (m *Matrix) AxpyInPlace(alpha float64, o *Matrix) {
+	m.shapeCheck(o, "AxpyInPlace")
+	for i, v := range o.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// AddRowVecInPlace adds the 1×C row vector b to every row of m.
+func (m *Matrix) AddRowVecInPlace(b *Matrix) {
+	if b.Rows != 1 || b.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVecInPlace bias %dx%d onto %dx%d", b.Rows, b.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range b.Data {
+			row[j] += v
+		}
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns max |element|; useful in tests.
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		s += " ["
+		for i := 0; i < m.Rows; i++ {
+			s += fmt.Sprintf("%v", m.Row(i))
+		}
+		s += "]"
+	}
+	return s
+}

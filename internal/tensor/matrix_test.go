@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taser/internal/mathx"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero data")
+		}
+	}
+}
+
+func TestFromSlicePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set roundtrip")
+	}
+	row := m.Row(1)
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{10, 20, 30, 40})
+	a.AddInPlace(b)
+	want := []float64{11, 22, 33, 44}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("AddInPlace[%d]=%v want %v", i, a.Data[i], w)
+		}
+	}
+	a.SubInPlace(b)
+	a.MulInPlace(b)
+	wantMul := []float64{10, 40, 90, 160}
+	for i, w := range wantMul {
+		if a.Data[i] != w {
+			t.Fatalf("MulInPlace[%d]=%v want %v", i, a.Data[i], w)
+		}
+	}
+	a.ScaleInPlace(0.5)
+	if a.Data[0] != 5 {
+		t.Fatal("ScaleInPlace")
+	}
+	a.AxpyInPlace(2, b)
+	if a.Data[0] != 25 {
+		t.Fatalf("AxpyInPlace got %v", a.Data[0])
+	}
+}
+
+func TestAddRowVec(t *testing.T) {
+	m := New(2, 3)
+	bias := FromSlice(1, 3, []float64{1, 2, 3})
+	m.AddRowVecInPlace(bias)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != float64(j+1) {
+				t.Fatalf("bias broadcast at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	err := quick.Check(func(rSeed uint64) bool {
+		r := 1 + int(rSeed%7)
+		c := 1 + int((rSeed>>8)%9)
+		m := Randn(r, c, 1, rng)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	a := Randn(4, 4, 1, rng)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).Equal(a, 1e-12) || !MatMul(id, a).Equal(a, 1e-12) {
+		t.Fatal("identity multiply must be a no-op")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// matMulNaive is an independent reference implementation for property tests.
+func matMulNaive(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaiveProperty(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	err := quick.Check(func(seed uint64) bool {
+		r := 1 + int(seed%11)
+		k := 1 + int((seed>>8)%13)
+		c := 1 + int((seed>>16)%11)
+		a := Randn(r, k, 1, rng)
+		b := Randn(k, c, 1, rng)
+		return MatMul(a, b).Equal(matMulNaive(a, b), 1e-9)
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	// Large enough to cross parallelThreshold.
+	a := Randn(128, 64, 1, rng)
+	b := Randn(64, 96, 1, rng)
+	got := MatMul(a, b)
+	want := New(128, 96)
+	matMulRange(want, a, b, 0, 128)
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("parallel and serial matmul disagree")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	a := Randn(5, 7, 1, rng)
+	b := Randn(6, 7, 1, rng)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulTransAAccumulates(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	a := Randn(5, 3, 1, rng)
+	b := Randn(5, 4, 1, rng)
+	dst := New(3, 4)
+	dst.Fill(1)
+	MatMulTransAInto(dst, a, b)
+	want := MatMul(a.Transpose(), b)
+	ones := New(3, 4)
+	ones.Fill(1)
+	want.AddInPlace(ones)
+	if !dst.Equal(want, 1e-10) {
+		t.Fatal("MatMulTransAInto must accumulate into dst")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestSumMaxAbs(t *testing.T) {
+	m := FromSlice(1, 4, []float64{1, -5, 3, 0})
+	if m.Sum() != -1 {
+		t.Fatal("Sum")
+	}
+	if m.MaxAbs() != 5 {
+		t.Fatal("MaxAbs")
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := FromSlice(1, 1, []float64{1.0})
+	b := FromSlice(1, 1, []float64{1.0 + 1e-9})
+	if !a.Equal(b, 1e-8) || a.Equal(b, 1e-10) {
+		t.Fatal("Equal tolerance semantics")
+	}
+	c := New(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("shape mismatch must be unequal")
+	}
+}
+
+func TestRandnStats(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	m := Randn(100, 100, 2, rng)
+	var mean float64
+	for _, v := range m.Data {
+		mean += v
+	}
+	mean /= float64(len(m.Data))
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("Randn mean %v too far from 0", mean)
+	}
+	var variance float64
+	for _, v := range m.Data {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(m.Data))
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("Randn var %v want ~4", variance)
+	}
+}

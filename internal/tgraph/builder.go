@@ -1,0 +1,82 @@
+package tgraph
+
+import "fmt"
+
+// Builder ingests a chronological event stream incrementally — the way
+// dynamic graphs arrive in production (the paper's motivating deployments
+// are streaming systems: fraud detection, recommendation). It maintains
+// per-node growable adjacency so temporal neighborhoods are queryable while
+// the stream is still open, and can snapshot into the packed T-CSR layout
+// the high-throughput finders use.
+type Builder struct {
+	numNodes int
+	events   []Event
+	lastT    float64
+
+	nbr [][]int32
+	ts  [][]float64
+	eid [][]int32
+}
+
+// NewBuilder creates a builder over a fixed node-id space.
+func NewBuilder(numNodes int) *Builder {
+	return &Builder{
+		numNodes: numNodes,
+		nbr:      make([][]int32, numNodes),
+		ts:       make([][]float64, numNodes),
+		eid:      make([][]int32, numNodes),
+	}
+}
+
+// Add appends one interaction. Events must arrive in non-decreasing time
+// order (the defining property of an event stream); violations error.
+func (b *Builder) Add(src, dst int32, t float64) error {
+	if src < 0 || int(src) >= b.numNodes || dst < 0 || int(dst) >= b.numNodes {
+		return fmt.Errorf("tgraph: endpoints (%d, %d) out of range [0, %d)", src, dst, b.numNodes)
+	}
+	if t < b.lastT {
+		return fmt.Errorf("tgraph: event at t=%v arrived after t=%v (stream must be chronological)", t, b.lastT)
+	}
+	b.lastT = t
+	id := int32(len(b.events))
+	b.events = append(b.events, Event{Src: src, Dst: dst, Time: t})
+	b.nbr[src] = append(b.nbr[src], dst)
+	b.ts[src] = append(b.ts[src], t)
+	b.eid[src] = append(b.eid[src], id)
+	if src != dst {
+		b.nbr[dst] = append(b.nbr[dst], src)
+		b.ts[dst] = append(b.ts[dst], t)
+		b.eid[dst] = append(b.eid[dst], id)
+	}
+	return nil
+}
+
+// NumEvents reports the events ingested so far.
+func (b *Builder) NumEvents() int { return len(b.events) }
+
+// Neighborhood returns N(v, t) views over the live adjacency (valid until
+// the next Add touching v).
+func (b *Builder) Neighborhood(v int32, t float64) (nbr []int32, ts []float64, eid []int32) {
+	all := b.ts[v]
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return b.nbr[v][:lo], b.ts[v][:lo], b.eid[v][:lo]
+}
+
+// Snapshot packs the current stream into an immutable Graph + T-CSR pair.
+// The builder remains usable afterwards.
+func (b *Builder) Snapshot() (*Graph, *TCSR) {
+	events := append([]Event(nil), b.events...)
+	g, err := NewGraph(b.numNodes, events)
+	if err != nil {
+		panic(err) // Add() validated every event
+	}
+	return g, BuildTCSR(g)
+}

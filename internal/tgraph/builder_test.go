@@ -1,0 +1,115 @@
+package tgraph
+
+import (
+	"testing"
+
+	"taser/internal/mathx"
+)
+
+func TestBuilderBasicFlow(t *testing.T) {
+	b := NewBuilder(4)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.Add(0, 1, 1))
+	must(b.Add(1, 2, 2))
+	must(b.Add(0, 1, 3))
+	if b.NumEvents() != 3 {
+		t.Fatal("NumEvents")
+	}
+	nbr, ts, eid := b.Neighborhood(1, 2.5)
+	if len(nbr) != 2 || nbr[0] != 0 || nbr[1] != 2 {
+		t.Fatalf("live neighborhood: %v", nbr)
+	}
+	if ts[1] != 2 || eid[1] != 1 {
+		t.Fatal("live neighborhood metadata")
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.Add(0, 5, 1); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+	if err := b.Add(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(0, 1, 4); err == nil {
+		t.Fatal("time regression must error")
+	}
+	// Equal timestamps are allowed (simultaneous events).
+	if err := b.Add(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderSnapshotMatchesBatchBuild(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	b := NewBuilder(20)
+	var events []Event
+	tm := 0.0
+	for i := 0; i < 500; i++ {
+		tm += rng.Float64()
+		e := Event{Src: int32(rng.Intn(20)), Dst: int32(rng.Intn(20)), Time: tm}
+		events = append(events, e)
+		if err := b.Add(e.Src, e.Dst, e.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, streamed := b.Snapshot()
+	g, err := NewGraph(20, append([]Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := BuildTCSR(g)
+	if len(streamed.Nbr) != len(batch.Nbr) {
+		t.Fatal("entry counts differ")
+	}
+	for v := int32(0); v < 20; v++ {
+		sn, st, se := streamed.Adj(v)
+		bn, bt, be := batch.Adj(v)
+		for i := range sn {
+			if sn[i] != bn[i] || st[i] != bt[i] || se[i] != be[i] {
+				t.Fatalf("node %d entry %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestBuilderLiveMatchesSnapshotNeighborhood(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	b := NewBuilder(10)
+	tm := 0.0
+	for i := 0; i < 200; i++ {
+		tm += rng.Float64()
+		if err := b.Add(int32(rng.Intn(10)), int32(rng.Intn(10)), tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, tc := b.Snapshot()
+	for v := int32(0); v < 10; v++ {
+		for _, q := range []float64{0, tm / 2, tm + 1} {
+			ln, _, _ := b.Neighborhood(v, q)
+			if len(ln) != tc.Pivot(v, q) {
+				t.Fatalf("live vs snapshot pivot mismatch node %d t=%v", v, q)
+			}
+		}
+	}
+	// Builder stays usable after snapshotting.
+	if err := b.Add(0, 1, tm+2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderSelfLoop(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.Add(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	nbr, _, _ := b.Neighborhood(1, 2)
+	if len(nbr) != 1 || nbr[0] != 1 {
+		t.Fatal("self loop must appear once")
+	}
+}

@@ -1,0 +1,39 @@
+package tgraph_test
+
+import (
+	"fmt"
+
+	"taser/internal/tgraph"
+)
+
+// ExampleBuildTCSR shows the batch path: materialize a graph, build the
+// T-CSR, and query a temporal neighborhood.
+func ExampleBuildTCSR() {
+	g, err := tgraph.NewGraph(3, []tgraph.Event{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 1, Dst: 2, Time: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	tc := tgraph.BuildTCSR(g)
+	nbr, ts, _ := tc.Neighborhood(0, 2.5)
+	fmt.Println("neighbors of 0 before t=2.5:", nbr, "at times", ts)
+	// Output: neighbors of 0 before t=2.5: [1 2] at times [1 2]
+}
+
+// ExampleBuilder shows the streaming path: ingest events one at a time and
+// query the live neighborhood mid-stream.
+func ExampleBuilder() {
+	b := tgraph.NewBuilder(3)
+	_ = b.Add(0, 1, 1)
+	_ = b.Add(0, 2, 2)
+	nbr, _, _ := b.Neighborhood(0, 10)
+	fmt.Println("live neighborhood:", nbr)
+	_, tc := b.Snapshot()
+	fmt.Println("snapshot degree of 0:", tc.Degree(0))
+	// Output:
+	// live neighborhood: [1 2]
+	// snapshot degree of 0: 2
+}

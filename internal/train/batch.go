@@ -1,0 +1,179 @@
+package train
+
+import (
+	"taser/internal/adaptive"
+	"taser/internal/autograd"
+	"taser/internal/models"
+	"taser/internal/sampler"
+	"taser/internal/tensor"
+)
+
+// builtBatch bundles a materialized minibatch with the adaptive-sampler
+// state needed for co-training (nil when adaptive neighbor sampling is off).
+type builtBatch struct {
+	mb  *models.MiniBatch
+	sel *adaptive.Selection
+	cs  *adaptive.CandidateSet
+	gS  *autograd.Graph // sampler graph (separate from the model graph)
+}
+
+// BuildMiniBatch materializes an inference minibatch for arbitrary roots
+// through the full sampling pipeline (including the adaptive sampler when
+// enabled). Exported for downstream applications that embed nodes outside
+// the training loop, e.g. recommendation scoring.
+func (t *Trainer) BuildMiniBatch(roots []sampler.Target) *models.MiniBatch {
+	return t.buildMiniBatch(roots).mb
+}
+
+// buildMiniBatch materializes the multi-hop minibatch for the given roots,
+// hop by hop from the outermost layer inward (Algorithm 1 lines 3–9). Each
+// hop runs the static neighbor finder (NF); when adaptive neighbor sampling
+// is enabled the finder over-samples m candidates whose features are sliced
+// (FS) and the parameterized sampler sub-selects n of them (AS).
+func (t *Trainer) buildMiniBatch(roots []sampler.Target) *builtBatch {
+	cfg := t.Cfg
+	layers := t.Model.NumLayers()
+	out := &builtBatch{}
+	if t.Sampler != nil {
+		out.gS = autograd.New()
+	}
+
+	targets := roots
+	blocks := make([]*models.LayerBlock, layers) // [0] = innermost
+	for l := layers - 1; l >= 0; l-- {
+		isOuter := l == layers-1
+		useAda := t.Sampler != nil && (isOuter || cfg.AdaAllLayers)
+		var block *models.LayerBlock
+		if useAda {
+			t.time("NF", func() {
+				if err := t.Finder.Sample(targets, cfg.M, t.policy, &t.scratch); err != nil {
+					panic(err)
+				}
+			})
+			cs := t.buildCandidateSet(targets, &t.scratch)
+			var sel *adaptive.Selection
+			t.time("AS", func() { sel = t.Sampler.Select(out.gS, cs, cfg.N) })
+			block = t.blockFromSelection(targets, &t.scratch, sel)
+			if isOuter {
+				out.sel, out.cs = sel, cs
+			}
+		} else {
+			t.time("NF", func() {
+				if err := t.Finder.Sample(targets, cfg.N, t.policy, &t.scratch); err != nil {
+					panic(err)
+				}
+				block = t.blockFromResult(targets, &t.scratch)
+			})
+			t.sliceBlockEdges(block, t.scratch.Eids)
+		}
+		blocks[l] = block
+		targets = extendTargets(targets, block)
+	}
+
+	// Leaf features: h⁰ for the innermost targets followed by their
+	// neighbors — which is exactly the final extended target list.
+	leaf := tensor.New(len(targets), t.DS.Spec.NodeDim)
+	ids := make([]int32, len(targets))
+	for i, tg := range targets {
+		ids[i] = tg.Node
+	}
+	t.sliceNodes(ids, leaf)
+
+	out.mb = &models.MiniBatch{Layers: blocks, LeafFeat: leaf}
+	return out
+}
+
+// extendTargets appends the block's selected neighbors as next-hop targets.
+// A neighbor (u, t_u) is embedded at its interaction time t_u. Padded slots
+// become the sentinel target (node 0, time 0), whose temporal neighborhood
+// is empty; its (meaningless) embedding is excluded by the outer layer mask.
+func extendTargets(targets []sampler.Target, block *models.LayerBlock) []sampler.Target {
+	next := make([]sampler.Target, 0, len(targets)+len(block.NbrNodes))
+	next = append(next, targets...)
+	for i := 0; i < block.NumTargets; i++ {
+		for j := 0; j < block.Budget; j++ {
+			s := i*block.Budget + j
+			node := block.NbrNodes[s]
+			if node < 0 {
+				next = append(next, sampler.Target{Node: 0, Time: 0})
+				continue
+			}
+			// Δt = t_target − t_edge ⇒ t_edge = t_target − Δt.
+			next = append(next, sampler.Target{
+				Node: node,
+				Time: targets[i].Time - block.DeltaT.Data[s],
+			})
+		}
+	}
+	return next
+}
+
+// blockFromResult converts a finder result (budget n) directly into a layer
+// block (the non-adaptive path).
+func (t *Trainer) blockFromResult(targets []sampler.Target, res *sampler.Result) *models.LayerBlock {
+	block := models.NewLayerBlock(len(targets), res.Budget, t.DS.Spec.EdgeDim)
+	for i, tg := range targets {
+		for j := 0; j < int(res.Counts[i]); j++ {
+			s := res.Slot(i, j)
+			block.SetEntry(i, j, res.Nodes[s], tg.Time-res.Times[s])
+		}
+	}
+	block.FinishMask()
+	return block
+}
+
+// sliceBlockEdges fetches the block's edge features (eids aligned with the
+// block layout; −1 yields zero rows).
+func (t *Trainer) sliceBlockEdges(block *models.LayerBlock, eids []int32) {
+	if t.DS.Spec.EdgeDim == 0 {
+		return
+	}
+	t.sliceEdges(eids, block.EdgeFeat)
+}
+
+// buildCandidateSet turns an m-budget finder result into the adaptive
+// sampler's input, slicing candidate node/edge features and the targets' own
+// features (the extra traffic that motivates the GPU cache, §III-D).
+func (t *Trainer) buildCandidateSet(targets []sampler.Target, res *sampler.Result) *adaptive.CandidateSet {
+	cs := adaptive.NewCandidateSet(len(targets), res.Budget, t.DS.Spec.NodeDim, t.DS.Spec.EdgeDim)
+	for i, tg := range targets {
+		for j := 0; j < int(res.Counts[i]); j++ {
+			s := res.Slot(i, j)
+			cs.SetEntry(i, j, res.Nodes[s], tg.Time-res.Times[s])
+		}
+	}
+	cs.FinishMask()
+	if t.DS.Spec.NodeDim > 0 {
+		t.sliceNodes(cs.Nodes, cs.NodeFeat)
+		ids := make([]int32, len(targets))
+		for i, tg := range targets {
+			ids[i] = tg.Node
+		}
+		t.sliceNodes(ids, cs.TargetFeat)
+	}
+	if t.DS.Spec.EdgeDim > 0 {
+		t.sliceEdges(res.Eids, cs.EdgeFeat)
+	}
+	return cs
+}
+
+// blockFromSelection materializes the n-budget layer block from the adaptive
+// sampler's chosen candidate slots, then slices the chosen edges' features.
+func (t *Trainer) blockFromSelection(targets []sampler.Target, res *sampler.Result, sel *adaptive.Selection) *models.LayerBlock {
+	n := t.Cfg.N
+	block := models.NewLayerBlock(len(targets), n, t.DS.Spec.EdgeDim)
+	eids := make([]int32, len(targets)*n)
+	for i := range eids {
+		eids[i] = -1
+	}
+	for i, tg := range targets {
+		for j, slot := range sel.Chosen[i] {
+			s := res.Slot(i, slot)
+			block.SetEntry(i, j, res.Nodes[s], tg.Time-res.Times[s])
+			eids[i*n+j] = res.Eids[s]
+		}
+	}
+	block.FinishMask()
+	t.sliceBlockEdges(block, eids)
+	return block
+}

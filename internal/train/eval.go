@@ -1,0 +1,212 @@
+package train
+
+import (
+	"sort"
+
+	"taser/internal/autograd"
+	"taser/internal/sampler"
+)
+
+// Split selects which chronological slice of events to evaluate.
+type Split int
+
+const (
+	// SplitVal is [TrainEnd, ValEnd).
+	SplitVal Split = iota
+	// SplitTest is [ValEnd, |E|).
+	SplitTest
+)
+
+// EvalMRR computes the transductive dynamic-link-prediction Mean Reciprocal
+// Rank following DistTGL's protocol (§IV-A): for each evaluated edge
+// (u, v, t), the positive destination v is ranked against
+// Cfg.EvalNegatives randomly sampled destinations by predictor logit, and
+// the reciprocal ranks are averaged. Ties are broken pessimistically
+// (the positive ranks below equal-scoring negatives), so random embeddings
+// score near chance rather than near 1.
+func (t *Trainer) EvalMRR(split Split) float64 {
+	lo, hi := t.DS.TrainEnd, t.DS.ValEnd
+	if split == SplitTest {
+		lo, hi = t.DS.ValEnd, len(t.DS.Graph.Events)
+	}
+	edges := make([]int, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		edges = append(edges, e)
+	}
+	if t.Cfg.MaxEvalEdges > 0 && len(edges) > t.Cfg.MaxEvalEdges {
+		// Deterministic stride subsample keeps the temporal spread.
+		stride := float64(len(edges)) / float64(t.Cfg.MaxEvalEdges)
+		sub := make([]int, 0, t.Cfg.MaxEvalEdges)
+		for i := 0; i < t.Cfg.MaxEvalEdges; i++ {
+			sub = append(sub, edges[int(float64(i)*stride)])
+		}
+		edges = sub
+	}
+
+	const chunk = 50
+	var sumRR float64
+	var count int
+	for start := 0; start < len(edges); start += chunk {
+		end := start + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		sumRR += t.evalChunk(edges[start:end])
+		count += end - start
+	}
+	if count == 0 {
+		return 0
+	}
+	return sumRR / float64(count)
+}
+
+// evalChunk embeds a chunk of edges' sources, positives and K negatives in
+// one forward pass and returns the summed reciprocal ranks.
+func (t *Trainer) evalChunk(edges []int) float64 {
+	b := len(edges)
+	k := t.Cfg.EvalNegatives
+	// Roots: [srcs(b) | positives(b) | negatives(b·k)].
+	roots := make([]sampler.Target, 0, b*(2+k))
+	for _, e := range edges {
+		ev := t.DS.Graph.Events[e]
+		roots = append(roots, sampler.Target{Node: ev.Src, Time: ev.Time})
+	}
+	for _, e := range edges {
+		ev := t.DS.Graph.Events[e]
+		roots = append(roots, sampler.Target{Node: ev.Dst, Time: ev.Time})
+	}
+	for _, e := range edges {
+		ev := t.DS.Graph.Events[e]
+		for j := 0; j < k; j++ {
+			roots = append(roots, sampler.Target{Node: t.negativeDst(), Time: ev.Time})
+		}
+	}
+	built := t.buildMiniBatch(roots)
+	g := autograd.New()
+	emb, _ := t.Model.Forward(g, built.mb)
+
+	// Score all (src, candidate) pairs in one shot.
+	srcIdx := make([]int32, b*(1+k))
+	dstIdx := make([]int32, b*(1+k))
+	for i := 0; i < b; i++ {
+		srcIdx[i] = int32(i)
+		dstIdx[i] = int32(b + i) // positive
+		for j := 0; j < k; j++ {
+			p := b + i*k + j
+			srcIdx[p] = int32(i)
+			dstIdx[p] = int32(2*b + i*k + j)
+		}
+	}
+	logits := t.Pred.ScoreGathered(g, emb, srcIdx, dstIdx)
+
+	var sumRR float64
+	for i := 0; i < b; i++ {
+		pos := logits.Val.Data[i]
+		rank := 1
+		for j := 0; j < k; j++ {
+			if logits.Val.Data[b+i*k+j] >= pos {
+				rank++
+			}
+		}
+		sumRR += 1.0 / float64(rank)
+	}
+	return sumRR
+}
+
+// EvalAP computes link-prediction Average Precision: each evaluated edge
+// contributes one positive (u, v) and one random negative (u, v′) pair; AP
+// is the area under the precision–recall curve of the logit ranking. This
+// is the metric TGAT/TGN report; the paper's tables use MRR, but both are
+// exposed for downstream use.
+func (t *Trainer) EvalAP(split Split) float64 {
+	lo, hi := t.DS.TrainEnd, t.DS.ValEnd
+	if split == SplitTest {
+		lo, hi = t.DS.ValEnd, len(t.DS.Graph.Events)
+	}
+	edges := make([]int, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		edges = append(edges, e)
+	}
+	if t.Cfg.MaxEvalEdges > 0 && len(edges) > t.Cfg.MaxEvalEdges {
+		stride := float64(len(edges)) / float64(t.Cfg.MaxEvalEdges)
+		sub := make([]int, 0, t.Cfg.MaxEvalEdges)
+		for i := 0; i < t.Cfg.MaxEvalEdges; i++ {
+			sub = append(sub, edges[int(float64(i)*stride)])
+		}
+		edges = sub
+	}
+	type scored struct {
+		logit float64
+		pos   bool
+	}
+	var all []scored
+	const chunk = 50
+	for start := 0; start < len(edges); start += chunk {
+		end := start + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		batch := edges[start:end]
+		b := len(batch)
+		roots := t.rootsForEdges(batch) // [srcs | dsts | negs]
+		built := t.buildMiniBatch(roots)
+		g := autograd.New()
+		emb, _ := t.Model.Forward(g, built.mb)
+		srcIdx := make([]int32, 2*b)
+		dstIdx := make([]int32, 2*b)
+		for i := 0; i < b; i++ {
+			srcIdx[i], dstIdx[i] = int32(i), int32(b+i)
+			srcIdx[b+i], dstIdx[b+i] = int32(i), int32(2*b+i)
+		}
+		logits := t.Pred.ScoreGathered(g, emb, srcIdx, dstIdx)
+		for i := 0; i < b; i++ {
+			all = append(all,
+				scored{logits.Val.Data[i], true},
+				scored{logits.Val.Data[b+i], false})
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	// AP = Σ_k precision@k over positive hits / #positives, descending logit
+	// (ties broken pessimistically: negatives first).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].logit != all[j].logit {
+			return all[i].logit > all[j].logit
+		}
+		return !all[i].pos && all[j].pos
+	})
+	var ap float64
+	positives, seen := 0, 0
+	for _, s := range all {
+		seen++
+		if s.pos {
+			positives++
+			ap += float64(positives) / float64(seen)
+		}
+	}
+	return ap / float64(positives)
+}
+
+// Run trains for Cfg.Epochs epochs and returns the per-epoch losses plus the
+// final validation and test MRR.
+func (t *Trainer) Run() (losses []float64, valMRR, testMRR float64) {
+	for e := 0; e < t.Cfg.Epochs; e++ {
+		res := t.TrainEpoch()
+		losses = append(losses, res.MeanLoss)
+	}
+	return losses, t.EvalMRR(SplitVal), t.EvalMRR(SplitTest)
+}
+
+// RankOf is a test helper: the 1-based pessimistic rank of x within scores.
+func RankOf(x float64, scores []float64) int {
+	cp := append([]float64(nil), scores...)
+	sort.Float64s(cp)
+	rank := 1
+	for _, s := range cp {
+		if s >= x {
+			rank++
+		}
+	}
+	return rank
+}

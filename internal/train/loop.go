@@ -1,0 +1,124 @@
+package train
+
+import (
+	"time"
+
+	"taser/internal/autograd"
+	"taser/internal/models"
+	"taser/internal/sampler"
+)
+
+// nextBatchEdges picks the training-edge indices of the next mini-batch:
+// chronologically for the baseline (as TGL schedules them), or from the
+// importance distribution P when adaptive mini-batch selection is on.
+func (t *Trainer) nextBatchEdges() []int {
+	b := t.Cfg.BatchSize
+	if t.Selector != nil {
+		return t.Selector.SampleBatch(b)
+	}
+	if t.cursor >= t.DS.TrainEnd {
+		t.cursor = 0
+	}
+	hi := t.cursor + b
+	if hi > t.DS.TrainEnd {
+		hi = t.DS.TrainEnd
+	}
+	edges := make([]int, 0, hi-t.cursor)
+	for e := t.cursor; e < hi; e++ {
+		edges = append(edges, e)
+	}
+	t.cursor = hi
+	return edges
+}
+
+// rootsForEdges builds the root target list [srcs | dsts | negs] for a set
+// of training edges, all at their interaction timestamps.
+func (t *Trainer) rootsForEdges(edges []int) []sampler.Target {
+	b := len(edges)
+	roots := make([]sampler.Target, 3*b)
+	for i, e := range edges {
+		ev := t.DS.Graph.Events[e]
+		roots[i] = sampler.Target{Node: ev.Src, Time: ev.Time}
+		roots[b+i] = sampler.Target{Node: ev.Dst, Time: ev.Time}
+		roots[2*b+i] = sampler.Target{Node: t.negativeDst(), Time: ev.Time}
+	}
+	return roots
+}
+
+// TrainStep runs one iteration of Algorithm 1 and returns the model loss.
+func (t *Trainer) TrainStep() float64 {
+	edges := t.nextBatchEdges()
+	if len(edges) == 0 {
+		return 0
+	}
+	b := len(edges)
+	roots := t.rootsForEdges(edges)
+	built := t.buildMiniBatch(roots)
+
+	// Forward + model loss (Eq. 10) + backward + step: the PP bucket.
+	var loss float64
+	var posLogits []float64
+	var info *models.CoTrainInfo
+	t.time("PP", func() {
+		gM := autograd.New()
+		emb, fwdInfo := t.Model.Forward(gM, built.mb)
+		info = fwdInfo
+		srcIdx := make([]int32, 2*b)
+		dstIdx := make([]int32, 2*b)
+		labels := make([]float64, 2*b)
+		for i := 0; i < b; i++ {
+			srcIdx[i], dstIdx[i], labels[i] = int32(i), int32(b+i), 1 // positive
+			srcIdx[b+i], dstIdx[b+i], labels[b+i] = int32(i), int32(2*b+i), 0
+		}
+		logits := t.Pred.ScoreGathered(gM, emb, srcIdx, dstIdx)
+		lossVar := gM.BCEWithLogits(logits, labels)
+		loss = lossVar.Val.Data[0]
+		gM.Backward(lossVar)
+		t.OptModel.Step()
+		t.OptModel.ZeroGrad()
+
+		posLogits = make([]float64, b)
+		copy(posLogits, logits.Val.Data[:b])
+	})
+
+	// Co-train the adaptive sampler (Algorithm 1 lines 12–13) while
+	// info.Out.Grad still holds dL/dh. Charged to AS.
+	if built.sel != nil {
+		t.time("AS", func() {
+			ls := t.Sampler.SampleLoss(built.gS, info, built.sel, built.cs)
+			built.gS.Backward(ls)
+			t.OptSampler.Step()
+			t.OptSampler.ZeroGrad()
+		})
+	}
+
+	// Update importance scores with fresh positive logits (Eq. 11).
+	if t.Selector != nil {
+		t.Selector.Update(edges, posLogits)
+	}
+	return loss
+}
+
+// EpochResult summarizes one training epoch.
+type EpochResult struct {
+	MeanLoss float64
+	Steps    int
+	Duration time.Duration
+}
+
+// TrainEpoch runs one pass over the training set (⌈train/batch⌉ steps) and
+// advances the feature cache epoch (Algorithm 3 lines 8–10).
+func (t *Trainer) TrainEpoch() EpochResult {
+	steps := (t.DS.TrainEnd + t.Cfg.BatchSize - 1) / t.Cfg.BatchSize
+	start := time.Now()
+	var total float64
+	for s := 0; s < steps; s++ {
+		total += t.TrainStep()
+	}
+	t.EdgeStore.EndEpoch()
+	if f, ok := t.Finder.(*sampler.TGLFinder); ok {
+		f.Reset() // new epoch restarts chronological order
+	}
+	t.cursor = 0
+	return EpochResult{MeanLoss: total / float64(steps), Steps: steps, Duration: time.Since(start)}
+}
