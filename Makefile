@@ -1,0 +1,31 @@
+# Build / test / bench entry points (see DESIGN.md and EXPERIMENTS.md).
+
+GO ?= go
+
+.PHONY: all build test bench bench-full vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification: vet plus the full suite under the race detector
+# (the pipelined training loop is concurrent; -race is the contract).
+# internal/bench's end-to-end smoke tests run every experiment, which is
+# slow under -race on few-core machines — hence the generous timeout.
+test: vet
+	$(GO) test -race -timeout=45m ./...
+
+# Smoke-check every step benchmark with allocation accounting. The output is
+# benchstat-compatible: save it per commit and compare with
+#   benchstat old.txt new.txt
+bench:
+	$(GO) test -run='^$$' -bench=Step -benchmem -benchtime=1x
+
+# Steady-state numbers for the step and build-path benchmarks (slower).
+bench-full:
+	$(GO) test -run='^$$' -bench='Step|Finder' -benchmem -benchtime=20x
+	$(GO) test ./internal/train -run='^$$' -bench=Build -benchmem -benchtime=200x

@@ -128,9 +128,32 @@ func benchmarkTrainStep(b *testing.B, cfg train.Config) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.TrainStep()
+	}
+}
+
+// benchmarkTrainStepPipelined is benchmarkTrainStep through the asynchronous
+// prefetch loop: per-op time approaches max(build, PP) instead of build + PP
+// once GOMAXPROCS ≥ 2 (the producer needs its own core to hide behind PP).
+func benchmarkTrainStepPipelined(b *testing.B, cfg train.Config) {
+	ds := datasets.Wikipedia(0.1, 3)
+	cfg.Hidden, cfg.TimeDim, cfg.BatchSize = 16, 8, 64
+	cfg.MaxEvalEdges = 10
+	tr, err := train.New(cfg, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := tr.NewPipeline(0)
+	b.Cleanup(p.Close)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Step(); !ok {
+			b.Fatal("pipeline exhausted")
+		}
 	}
 }
 
@@ -168,6 +191,35 @@ func BenchmarkStepGraphMixer(b *testing.B) {
 	})
 }
 
+// --- pipelined variants of the step benchmarks (this repo's async loop) ---
+
+// BenchmarkStepPipelinedGPUFinderCache is the pipelined counterpart of
+// BenchmarkStepGPUFinderCache (compare the two with benchstat).
+func BenchmarkStepPipelinedGPUFinderCache(b *testing.B) {
+	benchmarkTrainStepPipelined(b, train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, CacheRatio: 0.2,
+	})
+}
+
+// BenchmarkStepPipelinedTASER is the pipelined counterpart of
+// BenchmarkStepTASER: the Selection resolves consumer-side, candidate
+// staging overlaps with PP, and the selector sees bounded-stale updates.
+func BenchmarkStepPipelinedTASER(b *testing.B) {
+	benchmarkTrainStepPipelined(b, train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, CacheRatio: 0.2,
+		AdaBatch: true, AdaNeighbor: true, Decoder: adaptive.DecoderGATv2,
+	})
+}
+
+// BenchmarkStepPipelinedGraphMixer is the pipelined counterpart of
+// BenchmarkStepGraphMixer.
+func BenchmarkStepPipelinedGraphMixer(b *testing.B) {
+	benchmarkTrainStepPipelined(b, train.Config{
+		Model: train.ModelGraphMixer, Finder: train.FinderGPU, CacheRatio: 0.2,
+		AdaBatch: true, AdaNeighbor: true, Decoder: adaptive.DecoderLinear,
+	})
+}
+
 // --- end-to-end experiment wrappers ---
 
 func miniOptions() bench.Options {
@@ -188,11 +240,13 @@ func benchmarkExperiment(b *testing.B, fn func(bench.Options) error) {
 }
 
 func BenchmarkExperimentTable1(b *testing.B) { benchmarkExperiment(b, bench.Table1) }
-func BenchmarkExperimentTable2(b *testing.B) { benchmarkExperiment(b, bench.Table2) }
-func BenchmarkExperimentTable3(b *testing.B) { benchmarkExperiment(b, bench.Table3) }
-func BenchmarkExperimentFig1(b *testing.B)   { benchmarkExperiment(b, bench.Fig1) }
-func BenchmarkExperimentFig3a(b *testing.B)  { benchmarkExperiment(b, bench.Fig3a) }
-func BenchmarkExperimentFig3b(b *testing.B)  { benchmarkExperiment(b, bench.Fig3b) }
+
+func BenchmarkExperimentPipeline(b *testing.B) { benchmarkExperiment(b, bench.Pipeline) }
+func BenchmarkExperimentTable2(b *testing.B)   { benchmarkExperiment(b, bench.Table2) }
+func BenchmarkExperimentTable3(b *testing.B)   { benchmarkExperiment(b, bench.Table3) }
+func BenchmarkExperimentFig1(b *testing.B)     { benchmarkExperiment(b, bench.Fig1) }
+func BenchmarkExperimentFig3a(b *testing.B)    { benchmarkExperiment(b, bench.Fig3a) }
+func BenchmarkExperimentFig3b(b *testing.B)    { benchmarkExperiment(b, bench.Fig3b) }
 
 func BenchmarkExperimentFig4(b *testing.B) {
 	// Fig. 4 trains a 20-cell grid; keep the per-iteration cost bounded.

@@ -8,7 +8,7 @@
 //	taser-bench -exp all
 //
 // Experiments: table1, table2, table3, fig1, fig3a, fig3b, fig4,
-// ablation-encoder, ablation-decoder, ablation-cache, all.
+// ablation-encoder, ablation-decoder, ablation-cache, pipeline, all.
 package main
 
 import (
@@ -53,9 +53,11 @@ func main() {
 		"ablation-decoder":    bench.AblationDecoder,
 		"ablation-cache":      bench.AblationCache,
 		"ablation-heuristics": bench.AblationHeuristics,
+		"pipeline":            bench.Pipeline,
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
-		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics"}
+		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
+		"pipeline"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -37,6 +37,8 @@ func main() {
 		cache     = flag.Float64("cache", 0.2, "edge-feature cache ratio")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		evalEdges = flag.Int("eval-edges", 300, "max edges per MRR evaluation")
+		pipeline  = flag.Bool("pipeline", false, "overlap batch construction with compute (async prefetch loop)")
+		prefetch  = flag.Int("prefetch", 2, "prefetch depth of the pipelined loop")
 	)
 	flag.Parse()
 
@@ -59,6 +61,7 @@ func main() {
 		AdaBatch: *adaBatch || *taser, AdaNeighbor: *adaNbr || *taser,
 		Decoder: dec, CacheRatio: *cache,
 		MaxEvalEdges: *evalEdges, Seed: *seed,
+		PrefetchDepth: *prefetch,
 	}
 	tr, err := train.New(cfg, ds)
 	if err != nil {
@@ -66,7 +69,12 @@ func main() {
 		os.Exit(1)
 	}
 	for e := 0; e < cfg.Epochs; e++ {
-		res := tr.TrainEpoch()
+		var res train.EpochResult
+		if *pipeline {
+			res = tr.TrainEpochPipelined()
+		} else {
+			res = tr.TrainEpoch()
+		}
 		fmt.Printf("epoch %2d  loss=%.4f  (%.1fs, %d steps)\n",
 			e+1, res.MeanLoss, res.Duration.Seconds(), res.Steps)
 	}

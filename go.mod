@@ -1,0 +1,3 @@
+module taser
+
+go 1.24

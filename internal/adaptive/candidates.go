@@ -38,6 +38,30 @@ func NewCandidateSet(b, m, nodeDim, edgeDim int) *CandidateSet {
 	}
 }
 
+// Reset reshapes the set in place for reuse, zeroing all content so the
+// result is indistinguishable from a fresh NewCandidateSet(b, m, nodeDim,
+// edgeDim). Backing storage is reused when capacity allows.
+func (c *CandidateSet) Reset(b, m, nodeDim, edgeDim int) {
+	c.B, c.M = b, m
+	n := b * m
+	if cap(c.Nodes) < n {
+		c.Nodes = make([]int32, n)
+		c.DeltaT = make([]float64, n)
+	} else {
+		c.Nodes = c.Nodes[:n]
+		c.DeltaT = c.DeltaT[:n]
+		for i := range c.Nodes {
+			c.Nodes[i] = 0
+			c.DeltaT[i] = 0
+		}
+	}
+	c.NodeFeat.Resize(n, nodeDim)
+	c.EdgeFeat.Resize(n, edgeDim)
+	c.Mask.Resize(b, m)
+	c.MaskBias.Resize(b, m)
+	c.TargetFeat.Resize(b, nodeDim)
+}
+
 // SetEntry marks candidate slot (i, j) valid.
 func (c *CandidateSet) SetEntry(i, j int, node int32, deltaT float64) {
 	s := i*c.M + j

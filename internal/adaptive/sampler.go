@@ -87,6 +87,8 @@ type NeighborSampler struct {
 	transK  *nn.Linear // W'_t Z
 
 	rng *mathx.RNG
+	ws  mathx.WeightedSampler // per-root draw scratch (Select is serialized)
+	wts []float64             // per-root weight scratch
 }
 
 // NewSampler builds the sampler with all encoder components enabled.
@@ -299,7 +301,10 @@ func (s *NeighborSampler) Select(g *autograd.Graph, c *CandidateSet, n int) *Sel
 		LogQ:   logq,
 		Probs:  tensor.New(c.B, c.M),
 	}
-	weights := make([]float64, c.M)
+	if cap(s.wts) < c.M {
+		s.wts = make([]float64, c.M)
+	}
+	weights := s.wts[:c.M]
 	for b := 0; b < c.B; b++ {
 		row := logq.Val.Row(b)
 		for j := range weights {
@@ -313,7 +318,7 @@ func (s *NeighborSampler) Select(g *autograd.Graph, c *CandidateSet, n int) *Sel
 			continue
 		}
 		k := mathx.MinInt(n, valid)
-		sel.Chosen[b] = mathx.WeightedSampleNoReplace(s.rng, weights, k)
+		sel.Chosen[b] = s.ws.SampleInto(s.rng, weights, k, nil)
 	}
 	return sel
 }

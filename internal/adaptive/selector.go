@@ -6,6 +6,7 @@ package adaptive
 
 import (
 	"fmt"
+	"sync"
 
 	"taser/internal/mathx"
 )
@@ -16,12 +17,19 @@ import (
 // the batch are re-scored with sigmoid(logit) + γ, so confidently predicted
 // (low-noise) interactions are revisited more while a γ-weighted uniform
 // floor preserves exploration.
+//
+// The selector is safe for concurrent use: in the pipelined training loop the
+// prefetch goroutine draws upcoming batches while the consumer posts score
+// updates, so a prefetched batch may have been drawn from scores that are up
+// to PrefetchDepth+1 steps stale (see DESIGN.md on bounded staleness).
 type MiniBatchSelector struct {
 	// Gamma is the uniform-mixture magnitude γ (paper default 0.1).
 	Gamma float64
 
+	mu     sync.Mutex
 	scores []float64
 	rng    *mathx.RNG
+	ws     mathx.WeightedSampler // draw scratch (guarded by mu)
 }
 
 // NewMiniBatchSelector builds a selector over numTrain training edges.
@@ -40,12 +48,25 @@ func NewMiniBatchSelector(numTrain int, gamma float64, rng *mathx.RNG) *MiniBatc
 func (s *MiniBatchSelector) Len() int { return len(s.scores) }
 
 // Score returns P(e) for a training edge (exported for tests/diagnostics).
-func (s *MiniBatchSelector) Score(e int) float64 { return s.scores[e] }
+func (s *MiniBatchSelector) Score(e int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scores[e]
+}
 
 // SampleBatch draws batchSize distinct training-edge indices with
 // probability proportional to the importance scores.
 func (s *MiniBatchSelector) SampleBatch(batchSize int) []int {
-	return mathx.WeightedSampleNoReplace(s.rng, s.scores, batchSize)
+	return s.SampleBatchInto(batchSize, nil)
+}
+
+// SampleBatchInto is SampleBatch drawing into out's backing array, keeping
+// the per-step selection path allocation-free: the O(numTrain) key/index
+// scratch is reused across calls and only the result occupies out.
+func (s *MiniBatchSelector) SampleBatchInto(batchSize int, out []int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ws.SampleInto(s.rng, s.scores, batchSize, out)
 }
 
 // Update re-scores the positive samples of a batch with their fresh logits
@@ -54,6 +75,8 @@ func (s *MiniBatchSelector) Update(edges []int, logits []float64) {
 	if len(edges) != len(logits) {
 		panic("adaptive: Update length mismatch")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, e := range edges {
 		s.scores[e] = mathx.Sigmoid(logits[i]) + s.Gamma
 	}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"taser/internal/train"
+)
+
+// Pipeline compares the synchronous training loop against the pipelined,
+// double-buffered loop (internal/train.Pipeline) at several prefetch depths:
+// per-epoch wall time, speedup over synchronous, and the NF/AS/FS/PP
+// breakdown. The pipelined loop overlaps batch construction (NF + FS) with
+// model propagation (PP), so the expected speedup on k ≥ 2 cores is
+// (build + PP) / max(build, PP); on a single core the loop degenerates to
+// time-slicing and the speedup is ≈ 1 (see EXPERIMENTS.md).
+func Pipeline(o Options) error {
+	o = o.Normalize()
+	fmt.Fprintf(o.Out, "Pipelined vs synchronous training loop (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(o.Out, "%-12s %-14s %10s %8s  %s\n", "dataset", "loop", "ms/epoch", "speedup", "breakdown")
+	for _, ds := range o.loadDatasets([]string{"wikipedia", "reddit"}) {
+		cfg := o.baseConfig(train.ModelTGAT)
+		runEpochs := func(depth int) (float64, string, error) {
+			cfg.PrefetchDepth = depth
+			tr, err := train.New(cfg, ds)
+			if err != nil {
+				return 0, "", err
+			}
+			// One warm-up epoch trains the cache and the buffer pools, then
+			// measure the steady state (timer reset so the breakdown covers
+			// only the measured epoch).
+			var ms float64
+			for e := 0; e < 2; e++ {
+				if e == 1 {
+					tr.Timer.Reset()
+				}
+				var res train.EpochResult
+				if depth == 0 {
+					res = tr.TrainEpoch()
+				} else {
+					res = tr.TrainEpochPipelined()
+				}
+				ms = float64(res.Duration.Microseconds()) / 1000
+			}
+			return ms, tr.Timer.Breakdown(), nil
+		}
+
+		syncMS, syncBD, err := runEpochs(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "%-12s %-14s %10.1f %8s  %s\n", ds.Spec.Name, "synchronous", syncMS, "1.00x", syncBD)
+		for _, depth := range []int{1, 2, 4} {
+			ms, bd, err := runEpochs(depth)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(o.Out, "%-12s %-14s %10.1f %7.2fx  %s\n",
+				ds.Spec.Name, fmt.Sprintf("pipelined(d=%d)", depth), ms, syncMS/ms, bd)
+		}
+	}
+	return nil
+}

@@ -51,6 +51,15 @@ func (g *GPU) Workers() int { return g.workers }
 // scheduling blocks across the worker pool. It blocks until the grid
 // completes, like a synchronous CUDA kernel launch.
 func (g *GPU) LaunchBlocks(blocks int, kernel func(block int)) {
+	g.LaunchBlocksIndexed(blocks, func(_, b int) { kernel(b) })
+}
+
+// LaunchBlocksIndexed is LaunchBlocks with the executing worker's index
+// passed to the kernel (the SM id, in hardware terms). Worker indices lie in
+// [0, Workers()); a kernel can therefore keep per-worker scratch — RNG state,
+// sampling bitmaps — without any synchronization, which is what makes the
+// neighbor-finder kernels allocation-free in steady state.
+func (g *GPU) LaunchBlocksIndexed(blocks int, kernel func(worker, block int)) {
 	if blocks <= 0 {
 		return
 	}
@@ -60,7 +69,7 @@ func (g *GPU) LaunchBlocks(blocks int, kernel func(block int)) {
 	}
 	if workers == 1 {
 		for b := 0; b < blocks; b++ {
-			kernel(b)
+			kernel(0, b)
 		}
 		return
 	}
@@ -68,16 +77,16 @@ func (g *GPU) LaunchBlocks(blocks int, kernel func(block int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				b := int(atomic.AddInt64(&next, 1)) - 1
 				if b >= blocks {
 					return
 				}
-				kernel(b)
+				kernel(w, b)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -141,12 +150,17 @@ func (s *XferStats) VRAMBytes() int64    { return s.vramBytes.Load() }
 func (s *XferStats) PCIeRequests() int64 { return s.pcieReqs.Load() }
 func (s *XferStats) VRAMRequests() int64 { return s.vramReqs.Load() }
 
+// Time converts one batch of transfer counters into simulated transfer time.
+func (m CostModel) Time(pcieBytes, pcieReqs, vramBytes int64) time.Duration {
+	pcie := float64(pcieBytes)/m.PCIeBytesPerSec*float64(time.Second) +
+		float64(pcieReqs)*float64(m.PCIeLatency)
+	vram := float64(vramBytes) / m.VRAMBytesPerSec * float64(time.Second)
+	return time.Duration(pcie + vram)
+}
+
 // ModeledTime converts the accumulated counters into simulated transfer time.
 func (s *XferStats) ModeledTime() time.Duration {
-	pcie := float64(s.pcieBytes.Load())/s.Model.PCIeBytesPerSec*float64(time.Second) +
-		float64(s.pcieReqs.Load())*float64(s.Model.PCIeLatency)
-	vram := float64(s.vramBytes.Load()) / s.Model.VRAMBytesPerSec * float64(time.Second)
-	return time.Duration(pcie + vram)
+	return s.Model.Time(s.pcieBytes.Load(), s.pcieReqs.Load(), s.vramBytes.Load())
 }
 
 // Reset zeroes all counters.

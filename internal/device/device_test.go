@@ -39,6 +39,46 @@ func TestLaunchBlocksZeroAndNegative(t *testing.T) {
 	}
 }
 
+func TestLaunchBlocksIndexedWorkerBounds(t *testing.T) {
+	g := NewWithWorkers(4)
+	const blocks = 64
+	var hits [blocks]atomic.Int32
+	var badWorker atomic.Int32
+	g.LaunchBlocksIndexed(blocks, func(worker, b int) {
+		if worker < 0 || worker >= 4 {
+			badWorker.Store(1)
+		}
+		hits[b].Add(1)
+	})
+	if badWorker.Load() != 0 {
+		t.Fatal("worker index out of [0, Workers())")
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("block %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+// TestLaunchBlocksIndexedScratchIsolation is the property the finders'
+// per-worker fill scratch relies on: two blocks never run concurrently on
+// the same worker index.
+func TestLaunchBlocksIndexedScratchIsolation(t *testing.T) {
+	g := NewWithWorkers(4)
+	var inUse [4]atomic.Int32
+	var clash atomic.Int32
+	g.LaunchBlocksIndexed(256, func(worker, b int) {
+		if inUse[worker].Add(1) != 1 {
+			clash.Store(1)
+		}
+		time.Sleep(10 * time.Microsecond)
+		inUse[worker].Add(-1)
+	})
+	if clash.Load() != 0 {
+		t.Fatal("two blocks overlapped on one worker index")
+	}
+}
+
 func TestNewWithWorkersClamps(t *testing.T) {
 	if NewWithWorkers(0).Workers() != 1 || NewWithWorkers(-5).Workers() != 1 {
 		t.Fatal("workers must clamp to >= 1")

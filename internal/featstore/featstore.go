@@ -7,6 +7,8 @@ package featstore
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"taser/internal/cache"
 	"taser/internal/device"
@@ -14,7 +16,12 @@ import (
 )
 
 // Store is one feature matrix (e.g. all edge features) behind a cache.
+// Slicing is safe for concurrent use: the pipelined training loop slices
+// features for upcoming batches from the prefetch goroutine while the
+// consumer slices adaptively chosen edges, and both funnel through the same
+// (stateful, non-thread-safe) cache policy, so Slice serializes on a mutex.
 type Store struct {
+	mu     sync.Mutex
 	host   *tensor.Matrix // numRows×dim, lives in "RAM"
 	vram   *tensor.Matrix // capacity×dim, lives in "VRAM"
 	policy cache.Policy   // nil means uncached: every read goes over PCIe
@@ -40,15 +47,47 @@ func (s *Store) NumRows() int { return s.host.Rows }
 // rowBytes is the transfer size of one feature row.
 func (s *Store) rowBytes() int64 { return int64(s.host.Cols) * 8 }
 
-// Slice copies feature rows ids[i] into dst row i. Negative ids produce zero
-// rows (neighborhood padding). Rows resident in the cache are served from
-// VRAM; the rest are fetched over PCIe and the access is reported to the
-// cache policy so it can learn the pattern.
-func (s *Store) Slice(ids []int32, dst *tensor.Matrix) {
+// Slice copies feature rows ids[i] into dst row i and returns the modeled
+// transfer time of exactly this call's traffic (0 when accounting is off).
+// Negative ids produce zero rows (neighborhood padding). Rows resident in
+// the cache are served from VRAM; the rest are fetched over PCIe and the
+// access is reported to the cache policy so it can learn the pattern.
+//
+// The per-call return value — rather than diffing the shared XferStats
+// counters around the call — is what keeps the FS timing bucket exact when
+// the pipelined loop slices from two goroutines at once.
+func (s *Store) Slice(ids []int32, dst *tensor.Matrix) time.Duration {
 	if dst.Rows != len(ids) || dst.Cols != s.host.Cols {
 		panic(fmt.Sprintf("featstore: Slice dst %dx%d want %dx%d",
 			dst.Rows, dst.Cols, len(ids), s.host.Cols))
 	}
+	var pcieBytes, pcieReqs, vramBytes int64
+	if s.policy == nil {
+		// Uncached store (e.g. the node features): host is read-only, dst is
+		// caller-owned and accounting is atomic, so concurrent slices need no
+		// lock — the pipeline overlaps these on both sides.
+		for i, id := range ids {
+			out := dst.Row(i)
+			if id < 0 {
+				for j := range out {
+					out[j] = 0
+				}
+				continue
+			}
+			copy(out, s.host.Row(int(id)))
+			if s.stats != nil {
+				s.stats.Record(device.XferPCIe, s.rowBytes())
+			}
+			pcieBytes += s.rowBytes()
+			pcieReqs++
+		}
+		if s.stats == nil {
+			return 0
+		}
+		return s.stats.Model.Time(pcieBytes, pcieReqs, 0)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, id := range ids {
 		out := dst.Row(i)
 		if id < 0 {
@@ -57,41 +96,59 @@ func (s *Store) Slice(ids []int32, dst *tensor.Matrix) {
 			}
 			continue
 		}
-		if s.policy != nil {
-			if slot, hit := s.policy.Access(id); hit {
-				copy(out, s.vram.Row(slot))
-				if s.stats != nil {
-					s.stats.Record(device.XferVRAM, s.rowBytes())
-				}
-				// LRU-style policies may have rotated residency on a miss;
-				// Frequency never does mid-epoch, so a hit is always valid.
-				continue
-			} else if slot, ok := s.policy.Lookup(id); ok {
-				// Per-access policy (LRU) inserted id on the miss: load the
-				// row into its new slot. Maintenance traffic is PCIe.
-				copy(s.vram.Row(slot), s.host.Row(int(id)))
+		if slot, hit := s.policy.Access(id); hit {
+			copy(out, s.vram.Row(slot))
+			if s.stats != nil {
+				s.stats.Record(device.XferVRAM, s.rowBytes())
 			}
+			vramBytes += s.rowBytes()
+			// LRU-style policies may have rotated residency on a miss;
+			// Frequency never does mid-epoch, so a hit is always valid.
+			continue
+		} else if slot, ok := s.policy.Lookup(id); ok {
+			// Per-access policy (LRU) inserted id on the miss: load the
+			// row into its new slot. Maintenance traffic is PCIe.
+			copy(s.vram.Row(slot), s.host.Row(int(id)))
 		}
 		copy(out, s.host.Row(int(id)))
 		if s.stats != nil {
 			s.stats.Record(device.XferPCIe, s.rowBytes())
 		}
+		pcieBytes += s.rowBytes()
+		pcieReqs++
 	}
+	if s.stats == nil {
+		return 0
+	}
+	return s.stats.Model.Time(pcieBytes, pcieReqs, vramBytes)
 }
 
 // EndEpoch advances the cache policy and loads newly resident rows into
-// VRAM. The refill is charged as PCIe maintenance traffic.
+// VRAM. The refill is charged as PCIe maintenance traffic. The policy swap
+// and the refill happen under one lock, so a concurrent Slice can never
+// cache-hit a newly resident row whose VRAM slot is still unfilled.
 func (s *Store) EndEpoch() {
 	if s.policy == nil {
 		return
 	}
-	s.Refill(s.policy.EndEpoch())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refillLocked(s.policy.EndEpoch())
 }
 
 // Refill loads rows (already marked resident by the policy) into their VRAM
 // slots. Exposed for the Oracle policy, whose residency changes via Reveal.
 func (s *Store) Refill(inserted []int32) {
-	if s.policy == nil || s.vram == nil {
+	if s.policy == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refillLocked(inserted)
+}
+
+func (s *Store) refillLocked(inserted []int32) {
+	if s.vram == nil {
 		return
 	}
 	for _, id := range inserted {

@@ -22,6 +22,15 @@ type RNG struct {
 // seeds produce uncorrelated streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place so its stream is identical to a fresh
+// NewRNG(seed), without allocating. It lets hot loops that need one stream
+// per (call, block) pair — e.g. the GPU finder's per-block RNGs — reuse one
+// generator per worker instead of heap-allocating one per block.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -30,7 +39,7 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
+	r.haveSpare = false
 }
 
 // Split derives a new independent generator from r. The derived stream is

@@ -33,28 +33,46 @@ func WeightedChoice(r *RNG, weights []float64) int {
 // exist, in which case the result is truncated. The returned indices are in
 // descending key order (effectively random order).
 func WeightedSampleNoReplace(r *RNG, weights []float64, k int) []int {
-	type kv struct {
-		key float64
-		idx int
-	}
-	items := make([]kv, 0, len(weights))
+	var ws WeightedSampler
+	return ws.SampleInto(r, weights, k, nil)
+}
+
+// WeightedSampler holds the key/index scratch of WeightedSampleNoReplace so
+// repeated draws are allocation-free once warm. Not safe for concurrent use;
+// keep one per worker.
+type WeightedSampler struct {
+	keys []float64
+	idx  []int
+}
+
+// Len, Less, Swap implement sort.Interface (descending key order).
+func (ws *WeightedSampler) Len() int           { return len(ws.keys) }
+func (ws *WeightedSampler) Less(a, b int) bool { return ws.keys[a] > ws.keys[b] }
+func (ws *WeightedSampler) Swap(a, b int) {
+	ws.keys[a], ws.keys[b] = ws.keys[b], ws.keys[a]
+	ws.idx[a], ws.idx[b] = ws.idx[b], ws.idx[a]
+}
+
+// SampleInto is WeightedSampleNoReplace drawing into out's backing array
+// (grown as needed). It consumes one uniform variate per positive weight, in
+// index order, so it is stream-compatible with WeightedSampleNoReplace.
+func (ws *WeightedSampler) SampleInto(r *RNG, weights []float64, k int, out []int) []int {
+	ws.keys = ws.keys[:0]
+	ws.idx = ws.idx[:0]
 	for i, w := range weights {
 		if w <= 0 {
 			continue
 		}
 		// log(u)/w is a monotone transform of u^(1/w); avoids pow.
-		key := math.Log(r.Float64()) / w
-		items = append(items, kv{key, i})
+		ws.keys = append(ws.keys, math.Log(r.Float64())/w)
+		ws.idx = append(ws.idx, i)
 	}
-	if k > len(items) {
-		k = len(items)
+	if k > len(ws.idx) {
+		k = len(ws.idx)
 	}
-	sort.Slice(items, func(a, b int) bool { return items[a].key > items[b].key })
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = items[i].idx
-	}
-	return out
+	sort.Sort(ws)
+	out = out[:0]
+	return append(out, ws.idx[:k]...)
 }
 
 // Alias is Walker's alias method for O(1) draws from a fixed discrete

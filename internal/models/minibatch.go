@@ -52,6 +52,28 @@ func NewLayerBlock(t, budget, edgeDim int) *LayerBlock {
 	}
 }
 
+// Reset reshapes the block in place for reuse, zeroing all content so the
+// result is indistinguishable from a fresh NewLayerBlock(t, budget, edgeDim).
+// Backing storage is reused when capacity allows; buffer pools call this to
+// make the steady-state minibatch build path allocation-free.
+func (b *LayerBlock) Reset(t, budget, edgeDim int) {
+	b.NumTargets, b.Budget = t, budget
+	n := t * budget
+	if cap(b.NbrNodes) < n {
+		b.NbrNodes = make([]int32, n)
+	} else {
+		b.NbrNodes = b.NbrNodes[:n]
+		for i := range b.NbrNodes {
+			b.NbrNodes[i] = 0
+		}
+	}
+	b.EdgeFeat.Resize(n, edgeDim)
+	b.DeltaT.Resize(n, 1)
+	b.Mask.Resize(t, budget)
+	b.MaskCol.Resize(n, 1)
+	b.MaskBias.Resize(t, budget)
+}
+
 // SetEntry fills neighbor slot (i, j) as valid with the given timespan.
 func (b *LayerBlock) SetEntry(i, j int, node int32, deltaT float64) {
 	s := i*b.Budget + j

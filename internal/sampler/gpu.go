@@ -22,11 +22,21 @@ type GPUFinder struct {
 	gpu  *device.GPU
 	seed uint64
 	call uint64
+
+	// Per-worker kernel state: the block RNG stream is still derived from
+	// (seed, call, block), but the generator object and the fill scratch are
+	// reused per worker so a launch performs no heap allocation.
+	rngs    []mathx.RNG
+	scratch []fillScratch
 }
 
 // NewGPUFinder builds the finder on the given device.
 func NewGPUFinder(t *tgraph.TCSR, gpu *device.GPU, seed uint64) *GPUFinder {
-	return &GPUFinder{tcsr: t, gpu: gpu, seed: seed}
+	return &GPUFinder{
+		tcsr: t, gpu: gpu, seed: seed,
+		rngs:    make([]mathx.RNG, gpu.Workers()),
+		scratch: make([]fillScratch, gpu.Workers()),
+	}
 }
 
 // Name implements Finder.
@@ -42,7 +52,7 @@ func (f *GPUFinder) Sample(targets []Target, budget int, policy Policy, out *Res
 	}
 	f.call++
 	call := f.call
-	f.gpu.LaunchBlocks(len(targets), func(block int) {
+	f.gpu.LaunchBlocksIndexed(len(targets), func(worker, block int) {
 		tgt := targets[block]
 		nbr, ts, eid := f.tcsr.Adj(tgt.Node)
 		// Line 5: single-thread binary search for the pivot.
@@ -54,8 +64,9 @@ func (f *GPUFinder) Sample(targets []Target, budget int, policy Policy, out *Res
 			fillMostRecent(out, block, nbr, ts, eid, pivot, budget)
 			return
 		}
-		rng := mathx.NewRNG(f.seed ^ call*0x9e3779b97f4a7c15 ^ uint64(block)*0xbf58476d1ce4e5b9)
-		fill(policy, out, block, nbr, ts, eid, pivot, budget, tgt.Time, rng)
+		rng := &f.rngs[worker]
+		rng.Reseed(f.seed ^ call*0x9e3779b97f4a7c15 ^ uint64(block)*0xbf58476d1ce4e5b9)
+		fill(policy, out, block, nbr, ts, eid, pivot, budget, tgt.Time, rng, &f.scratch[worker])
 	})
 	return nil
 }

@@ -24,8 +24,9 @@ type OriginFinder struct {
 	// adjacency element visited.
 	Overhead int
 
-	tcsr *tgraph.TCSR
-	rng  *mathx.RNG
+	tcsr    *tgraph.TCSR
+	rng     *mathx.RNG
+	scratch fillScratch
 }
 
 // NewOriginFinder builds the finder over the given T-CSR with the default
@@ -53,7 +54,7 @@ func (f *OriginFinder) Sample(targets []Target, budget int, policy Policy, out *
 		if pivot == 0 {
 			continue
 		}
-		fill(policy, out, i, nbr, ts, eid, pivot, budget, tgt.Time, f.rng)
+		fill(policy, out, i, nbr, ts, eid, pivot, budget, tgt.Time, f.rng, &f.scratch)
 	}
 	return nil
 }

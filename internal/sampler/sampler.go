@@ -116,6 +116,47 @@ type Finder interface {
 	ArbitraryOrder() bool
 }
 
+// fillScratch holds the per-call working buffers of the fill kernels (index
+// arrays, rejection bitmaps, heuristic weights) so steady-state sampling does
+// not touch the heap. It mirrors a CUDA kernel's shared-memory workspace: one
+// instance per concurrently executing worker, never shared.
+type fillScratch struct {
+	idx     []int32
+	bitmap  []uint64
+	weights []float64
+	chosen  []int
+	ws      mathx.WeightedSampler
+}
+
+// int32s returns a zero-length int32 slice with capacity ≥ n backed by buf.
+func (sc *fillScratch) int32s(n int) []int32 {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int32, n)
+	}
+	return sc.idx[:n]
+}
+
+// words returns a zeroed uint64 slice of length n.
+func (sc *fillScratch) words(n int) []uint64 {
+	if cap(sc.bitmap) < n {
+		sc.bitmap = make([]uint64, n)
+		return sc.bitmap[:n]
+	}
+	w := sc.bitmap[:n]
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}
+
+// floats returns an uninitialized float64 slice of length n.
+func (sc *fillScratch) floats(n int) []float64 {
+	if cap(sc.weights) < n {
+		sc.weights = make([]float64, n)
+	}
+	return sc.weights[:n]
+}
+
 // fillMostRecent writes the newest min(budget, pivot) entries, newest first.
 func fillMostRecent(out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int) {
 	k := mathx.MinInt(budget, pivot)
@@ -134,7 +175,7 @@ func fillMostRecent(out *Result, i int, nbr []int32, ts []float64, eid []int32, 
 // small relative to the neighborhood (the GPU kernel's strategy, Algorithm 2
 // line 13) and a partial Fisher–Yates when it is not, so the cost stays
 // bounded near k ≈ pivot.
-func fillUniform(out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, rng *mathx.RNG) {
+func fillUniform(out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, rng *mathx.RNG, sc *fillScratch) {
 	k := mathx.MinInt(budget, pivot)
 	switch {
 	case k == pivot:
@@ -146,7 +187,7 @@ func fillUniform(out *Result, i int, nbr []int32, ts []float64, eid []int32, piv
 		}
 	case k > pivot/2:
 		// Partial Fisher–Yates over an explicit index array.
-		idx := make([]int32, pivot)
+		idx := sc.int32s(pivot)
 		for j := range idx {
 			idx[j] = int32(j)
 		}
@@ -162,7 +203,7 @@ func fillUniform(out *Result, i int, nbr []int32, ts []float64, eid []int32, piv
 		// Shared-memory bitmap with atomic-free rejection (single goroutine
 		// per block, so plain writes suffice).
 		words := (pivot + 63) / 64
-		bitmap := make([]uint64, words)
+		bitmap := sc.words(words)
 		for j := 0; j < k; j++ {
 			for {
 				r := rng.Intn(pivot)
@@ -184,13 +225,14 @@ func fillUniform(out *Result, i int, nbr []int32, ts []float64, eid []int32, piv
 
 // fillInverseTimespan draws min(budget, pivot) distinct entries with
 // probability ∝ 1/(Δt + 1), the TGAT heuristic for deprecated links.
-func fillInverseTimespan(out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, tTarget float64, rng *mathx.RNG) {
+func fillInverseTimespan(out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, tTarget float64, rng *mathx.RNG, sc *fillScratch) {
 	k := mathx.MinInt(budget, pivot)
-	weights := make([]float64, pivot)
+	weights := sc.floats(pivot)
 	for j := 0; j < pivot; j++ {
 		weights[j] = 1 / (tTarget - ts[j] + 1)
 	}
-	for j, idx := range mathx.WeightedSampleNoReplace(rng, weights, k) {
+	sc.chosen = sc.ws.SampleInto(rng, weights, k, sc.chosen)
+	for j, idx := range sc.chosen {
 		s := out.Slot(i, j)
 		out.Nodes[s] = nbr[idx]
 		out.Times[s] = ts[idx]
@@ -200,14 +242,14 @@ func fillInverseTimespan(out *Result, i int, nbr []int32, ts []float64, eid []in
 }
 
 // fill dispatches on policy; every finder shares this kernel body.
-func fill(policy Policy, out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, tTarget float64, rng *mathx.RNG) {
+func fill(policy Policy, out *Result, i int, nbr []int32, ts []float64, eid []int32, pivot, budget int, tTarget float64, rng *mathx.RNG, sc *fillScratch) {
 	switch policy {
 	case MostRecent:
 		fillMostRecent(out, i, nbr, ts, eid, pivot, budget)
 	case InverseTimespan:
-		fillInverseTimespan(out, i, nbr, ts, eid, pivot, budget, tTarget, rng)
+		fillInverseTimespan(out, i, nbr, ts, eid, pivot, budget, tTarget, rng, sc)
 	default:
-		fillUniform(out, i, nbr, ts, eid, pivot, budget, rng)
+		fillUniform(out, i, nbr, ts, eid, pivot, budget, rng, sc)
 	}
 }
 

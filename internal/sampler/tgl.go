@@ -23,6 +23,7 @@ type TGLFinder struct {
 	ptr     []int // per-node pivot pointer (monotone until Reset)
 	workers int
 	rngs    []*mathx.RNG // one per worker
+	scratch []fillScratch
 }
 
 // NewTGLFinder builds the finder with one worker per host core.
@@ -33,6 +34,7 @@ func NewTGLFinder(t *tgraph.TCSR, rng *mathx.RNG) *TGLFinder {
 		ptr:     make([]int, t.NumNodes()),
 		workers: workers,
 		rngs:    make([]*mathx.RNG, workers),
+		scratch: make([]fillScratch, workers),
 	}
 	for i := range f.rngs {
 		f.rngs[i] = rng.Split()
@@ -81,7 +83,7 @@ func (f *TGLFinder) Sample(targets []Target, budget int, policy Policy, out *Res
 		if pivot == 0 {
 			return
 		}
-		fill(policy, out, i, nbr, ts, eid, pivot, budget, tgt.Time, f.rngs[worker])
+		fill(policy, out, i, nbr, ts, eid, pivot, budget, tgt.Time, f.rngs[worker], &f.scratch[worker])
 	})
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -63,8 +64,11 @@ func (w *Welford) String() string {
 }
 
 // Timer accumulates named durations; it powers the NF/AS/FS/PP runtime
-// breakdowns in Table III and Fig. 1.
+// breakdowns in Table III and Fig. 1. It is safe for concurrent use: the
+// pipelined training loop charges build-phase buckets from the prefetch
+// goroutine while the consumer charges PP.
 type Timer struct {
+	mu      sync.Mutex
 	buckets map[string]time.Duration
 	order   []string
 }
@@ -76,6 +80,8 @@ func NewTimer() *Timer {
 
 // Add charges d to bucket name.
 func (t *Timer) Add(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.buckets[name]; !ok {
 		t.order = append(t.order, name)
 	}
@@ -90,10 +96,20 @@ func (t *Timer) Time(name string, f func()) {
 }
 
 // Get returns the accumulated duration for name.
-func (t *Timer) Get(name string) time.Duration { return t.buckets[name] }
+func (t *Timer) Get(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buckets[name]
+}
 
 // Total sums every bucket.
 func (t *Timer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalLocked()
+}
+
+func (t *Timer) totalLocked() time.Duration {
 	var total time.Duration
 	for _, d := range t.buckets {
 		total += d
@@ -103,17 +119,25 @@ func (t *Timer) Total() time.Duration {
 
 // Reset zeroes all buckets while keeping their order.
 func (t *Timer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for k := range t.buckets {
 		t.buckets[k] = 0
 	}
 }
 
 // Names returns bucket names in first-use order.
-func (t *Timer) Names() []string { return append([]string(nil), t.order...) }
+func (t *Timer) Names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
 
 // Breakdown formats each bucket as seconds with its share of the total.
 func (t *Timer) Breakdown() string {
-	total := t.Total()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.totalLocked()
 	s := ""
 	for _, name := range t.order {
 		d := t.buckets[name]

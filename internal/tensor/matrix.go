@@ -61,6 +61,27 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Resize reshapes m to r×c in place and zeroes every element, reusing the
+// backing array when its capacity suffices. After Resize the matrix is
+// indistinguishable from a fresh New(r, c); buffer pools use it to recycle
+// matrices across training steps without reallocating.
+func (m *Matrix) Resize(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: Resize(%d, %d) with negative dimension", r, c))
+	}
+	n := r * c
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = r, c
+	return m
+}
+
 // Zero sets every element to 0.
 func (m *Matrix) Zero() {
 	for i := range m.Data {

@@ -66,7 +66,7 @@ func (t *Trainer) evalChunk(edges []int) float64 {
 	b := len(edges)
 	k := t.Cfg.EvalNegatives
 	// Roots: [srcs(b) | positives(b) | negatives(b·k)].
-	roots := make([]sampler.Target, 0, b*(2+k))
+	roots := t.pool.getTargets(b * (2 + k))
 	for _, e := range edges {
 		ev := t.DS.Graph.Events[e]
 		roots = append(roots, sampler.Target{Node: ev.Src, Time: ev.Time})
@@ -81,7 +81,9 @@ func (t *Trainer) evalChunk(edges []int) float64 {
 			roots = append(roots, sampler.Target{Node: t.negativeDst(), Time: ev.Time})
 		}
 	}
-	built := t.buildMiniBatch(roots)
+	pb := t.prepareRoots(roots)
+	built := t.finishBatch(pb)
+	defer t.releasePrepared(pb)
 	g := autograd.New()
 	emb, _ := t.Model.Forward(g, built.mb)
 
@@ -148,8 +150,8 @@ func (t *Trainer) EvalAP(split Split) float64 {
 		}
 		batch := edges[start:end]
 		b := len(batch)
-		roots := t.rootsForEdges(batch) // [srcs | dsts | negs]
-		built := t.buildMiniBatch(roots)
+		pb := t.prepareRoots(t.rootsForEdges(batch)) // [srcs | dsts | negs]
+		built := t.finishBatch(pb)
 		g := autograd.New()
 		emb, _ := t.Model.Forward(g, built.mb)
 		srcIdx := make([]int32, 2*b)
@@ -164,6 +166,7 @@ func (t *Trainer) EvalAP(split Split) float64 {
 				scored{logits.Val.Data[i], true},
 				scored{logits.Val.Data[b+i], false})
 		}
+		t.releasePrepared(pb)
 	}
 	if len(all) == 0 {
 		return 0

@@ -14,7 +14,7 @@ import (
 func (t *Trainer) nextBatchEdges() []int {
 	b := t.Cfg.BatchSize
 	if t.Selector != nil {
-		return t.Selector.SampleBatch(b)
+		return t.Selector.SampleBatchInto(b, t.pool.getInts(b))
 	}
 	if t.cursor >= t.DS.TrainEnd {
 		t.cursor = 0
@@ -23,7 +23,7 @@ func (t *Trainer) nextBatchEdges() []int {
 	if hi > t.DS.TrainEnd {
 		hi = t.DS.TrainEnd
 	}
-	edges := make([]int, 0, hi-t.cursor)
+	edges := t.pool.getInts(hi - t.cursor)
 	for e := t.cursor; e < hi; e++ {
 		edges = append(edges, e)
 	}
@@ -35,7 +35,7 @@ func (t *Trainer) nextBatchEdges() []int {
 // of training edges, all at their interaction timestamps.
 func (t *Trainer) rootsForEdges(edges []int) []sampler.Target {
 	b := len(edges)
-	roots := make([]sampler.Target, 3*b)
+	roots := t.pool.getTargets(3 * b)[:3*b]
 	for i, e := range edges {
 		ev := t.DS.Graph.Events[e]
 		roots[i] = sampler.Target{Node: ev.Src, Time: ev.Time}
@@ -46,39 +46,55 @@ func (t *Trainer) rootsForEdges(edges []int) []sampler.Target {
 }
 
 // TrainStep runs one iteration of Algorithm 1 and returns the model loss.
+// It is the synchronous path: prepare and consume back to back on the
+// calling goroutine. See Pipeline for the overlapped variant.
 func (t *Trainer) TrainStep() float64 {
 	edges := t.nextBatchEdges()
 	if len(edges) == 0 {
 		return 0
 	}
-	b := len(edges)
-	roots := t.rootsForEdges(edges)
-	built := t.buildMiniBatch(roots)
+	return t.consume(t.prepareBatch(edges))
+}
+
+// grow returns s resized to length n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// consume runs the parameter-dependent half of one training step on a
+// prepared batch: finish construction (resolving the adaptive Selection, if
+// any), forward/backward/step (the PP bucket), adaptive-sampler co-training,
+// and the importance-score update — then recycles the batch's buffers.
+func (t *Trainer) consume(pb *prepared) float64 {
+	built := t.finishBatch(pb)
+	b := len(pb.edges)
 
 	// Forward + model loss (Eq. 10) + backward + step: the PP bucket.
 	var loss float64
-	var posLogits []float64
 	var info *models.CoTrainInfo
 	t.time("PP", func() {
 		gM := autograd.New()
 		emb, fwdInfo := t.Model.Forward(gM, built.mb)
 		info = fwdInfo
-		srcIdx := make([]int32, 2*b)
-		dstIdx := make([]int32, 2*b)
-		labels := make([]float64, 2*b)
+		t.srcIdx = grow(t.srcIdx, 2*b)
+		t.dstIdx = grow(t.dstIdx, 2*b)
+		t.labels = grow(t.labels, 2*b)
 		for i := 0; i < b; i++ {
-			srcIdx[i], dstIdx[i], labels[i] = int32(i), int32(b+i), 1 // positive
-			srcIdx[b+i], dstIdx[b+i], labels[b+i] = int32(i), int32(2*b+i), 0
+			t.srcIdx[i], t.dstIdx[i], t.labels[i] = int32(i), int32(b+i), 1 // positive
+			t.srcIdx[b+i], t.dstIdx[b+i], t.labels[b+i] = int32(i), int32(2*b+i), 0
 		}
-		logits := t.Pred.ScoreGathered(gM, emb, srcIdx, dstIdx)
-		lossVar := gM.BCEWithLogits(logits, labels)
+		logits := t.Pred.ScoreGathered(gM, emb, t.srcIdx, t.dstIdx)
+		lossVar := gM.BCEWithLogits(logits, t.labels)
 		loss = lossVar.Val.Data[0]
 		gM.Backward(lossVar)
 		t.OptModel.Step()
 		t.OptModel.ZeroGrad()
 
-		posLogits = make([]float64, b)
-		copy(posLogits, logits.Val.Data[:b])
+		t.posLogits = grow(t.posLogits, b)
+		copy(t.posLogits, logits.Val.Data[:b])
 	})
 
 	// Co-train the adaptive sampler (Algorithm 1 lines 12–13) while
@@ -92,10 +108,13 @@ func (t *Trainer) TrainStep() float64 {
 		})
 	}
 
-	// Update importance scores with fresh positive logits (Eq. 11).
+	// Update importance scores with fresh positive logits (Eq. 11). In the
+	// pipelined loop, batches already in flight were drawn before this update
+	// lands — the bounded staleness documented in DESIGN.md.
 	if t.Selector != nil {
-		t.Selector.Update(edges, posLogits)
+		t.Selector.Update(pb.edges, t.posLogits[:b])
 	}
+	t.releasePrepared(pb)
 	return loss
 }
 
@@ -115,10 +134,17 @@ func (t *Trainer) TrainEpoch() EpochResult {
 	for s := 0; s < steps; s++ {
 		total += t.TrainStep()
 	}
+	t.endEpoch()
+	return EpochResult{MeanLoss: total / float64(steps), Steps: steps, Duration: time.Since(start)}
+}
+
+// endEpoch advances the cache epoch and rewinds chronological state.
+func (t *Trainer) endEpoch() {
 	t.EdgeStore.EndEpoch()
-	if f, ok := t.Finder.(*sampler.TGLFinder); ok {
-		f.Reset() // new epoch restarts chronological order
+	for _, f := range []sampler.Finder{t.Finder, t.finderC} {
+		if tgl, ok := f.(*sampler.TGLFinder); ok {
+			tgl.Reset() // new epoch restarts chronological order
+		}
 	}
 	t.cursor = 0
-	return EpochResult{MeanLoss: total / float64(steps), Steps: steps, Duration: time.Since(start)}
 }

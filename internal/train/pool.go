@@ -1,0 +1,207 @@
+package train
+
+import (
+	"sync"
+
+	"taser/internal/adaptive"
+	"taser/internal/models"
+	"taser/internal/sampler"
+	"taser/internal/tensor"
+)
+
+// blockKey identifies a LayerBlock shape class. In steady state a training
+// run only ever materializes a handful of shapes (one per hop), so the free
+// lists hit on every step after warm-up.
+type blockKey struct{ t, budget, edgeDim int }
+
+// csKey identifies a CandidateSet shape class.
+type csKey struct{ b, m, nodeDim, edgeDim int }
+
+// buildPool recycles every buffer the minibatch construction path
+// materializes — layer blocks, candidate sets, finder results, leaf feature
+// matrices, and the per-step target/id scratch slices — so the steady-state
+// build path is (near-)allocation-free. It is safe for concurrent use: the
+// pipelined loop acquires buffers on the prefetch goroutine and releases them
+// on the consumer after the optimizer step.
+//
+// Ownership is move-semantics: a Get transfers the buffer to the caller, a
+// Put transfers it back. Buffers handed to external callers (e.g. through
+// Trainer.BuildMiniBatch) are simply never returned; the pool then allocates
+// fresh ones, which keeps the exported API leak-proof.
+type buildPool struct {
+	mu      sync.Mutex
+	blocks  map[blockKey][]*models.LayerBlock
+	sets    map[csKey][]*adaptive.CandidateSet
+	results []*sampler.Result
+	mats    map[int][]*tensor.Matrix // keyed by column count
+	targets sliceList[sampler.Target]
+	ids     sliceList[int32]
+	ints    sliceList[int]
+}
+
+// sliceList is a free list of []T scratch slices. get returns an empty slice
+// with capacity ≥ hint; put takes one back. Callers synchronize (buildPool
+// wraps every access in its mutex).
+type sliceList[T any] struct {
+	free [][]T
+}
+
+func (l *sliceList[T]) get(hint int) []T {
+	if n := len(l.free); n > 0 {
+		s := l.free[n-1]
+		l.free = l.free[:n-1]
+		if cap(s) >= hint {
+			return s[:0]
+		}
+	}
+	return make([]T, 0, hint)
+}
+
+func (l *sliceList[T]) put(s []T) {
+	if s != nil {
+		l.free = append(l.free, s)
+	}
+}
+
+func newBuildPool() *buildPool {
+	return &buildPool{
+		blocks: make(map[blockKey][]*models.LayerBlock),
+		sets:   make(map[csKey][]*adaptive.CandidateSet),
+		mats:   make(map[int][]*tensor.Matrix),
+	}
+}
+
+// getBlock returns a zeroed t×budget layer block with edge width edgeDim.
+func (p *buildPool) getBlock(t, budget, edgeDim int) *models.LayerBlock {
+	key := blockKey{t, budget, edgeDim}
+	p.mu.Lock()
+	list := p.blocks[key]
+	if n := len(list); n > 0 {
+		blk := list[n-1]
+		p.blocks[key] = list[:n-1]
+		p.mu.Unlock()
+		blk.Reset(t, budget, edgeDim)
+		return blk
+	}
+	p.mu.Unlock()
+	return models.NewLayerBlock(t, budget, edgeDim)
+}
+
+func (p *buildPool) putBlock(blk *models.LayerBlock) {
+	if blk == nil {
+		return
+	}
+	key := blockKey{blk.NumTargets, blk.Budget, blk.EdgeFeat.Cols}
+	p.mu.Lock()
+	p.blocks[key] = append(p.blocks[key], blk)
+	p.mu.Unlock()
+}
+
+// getSet returns a zeroed b×m candidate set.
+func (p *buildPool) getSet(b, m, nodeDim, edgeDim int) *adaptive.CandidateSet {
+	key := csKey{b, m, nodeDim, edgeDim}
+	p.mu.Lock()
+	list := p.sets[key]
+	if n := len(list); n > 0 {
+		cs := list[n-1]
+		p.sets[key] = list[:n-1]
+		p.mu.Unlock()
+		cs.Reset(b, m, nodeDim, edgeDim)
+		return cs
+	}
+	p.mu.Unlock()
+	return adaptive.NewCandidateSet(b, m, nodeDim, edgeDim)
+}
+
+func (p *buildPool) putSet(cs *adaptive.CandidateSet) {
+	if cs == nil {
+		return
+	}
+	key := csKey{cs.B, cs.M, cs.NodeFeat.Cols, cs.EdgeFeat.Cols}
+	p.mu.Lock()
+	p.sets[key] = append(p.sets[key], cs)
+	p.mu.Unlock()
+}
+
+// getResult returns a finder result; callers shape it via Finder.Sample.
+func (p *buildPool) getResult() *sampler.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.results); n > 0 {
+		res := p.results[n-1]
+		p.results = p.results[:n-1]
+		return res
+	}
+	return &sampler.Result{}
+}
+
+func (p *buildPool) putResult(res *sampler.Result) {
+	if res == nil {
+		return
+	}
+	p.mu.Lock()
+	p.results = append(p.results, res)
+	p.mu.Unlock()
+}
+
+// getMat returns a zeroed rows×cols matrix.
+func (p *buildPool) getMat(rows, cols int) *tensor.Matrix {
+	p.mu.Lock()
+	list := p.mats[cols]
+	if n := len(list); n > 0 {
+		m := list[n-1]
+		p.mats[cols] = list[:n-1]
+		p.mu.Unlock()
+		return m.Resize(rows, cols)
+	}
+	p.mu.Unlock()
+	return tensor.New(rows, cols)
+}
+
+func (p *buildPool) putMat(m *tensor.Matrix) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.mats[m.Cols] = append(p.mats[m.Cols], m)
+	p.mu.Unlock()
+}
+
+// getTargets returns an empty target slice with capacity ≥ hint.
+func (p *buildPool) getTargets(hint int) []sampler.Target {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.targets.get(hint)
+}
+
+func (p *buildPool) putTargets(s []sampler.Target) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targets.put(s)
+}
+
+// getIDs returns an empty int32 slice with capacity ≥ hint.
+func (p *buildPool) getIDs(hint int) []int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ids.get(hint)
+}
+
+func (p *buildPool) putIDs(s []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ids.put(s)
+}
+
+// getInts returns an empty int slice with capacity ≥ hint.
+func (p *buildPool) getInts(hint int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ints.get(hint)
+}
+
+func (p *buildPool) putInts(s []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ints.put(s)
+}

@@ -11,6 +11,7 @@ package train
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"taser/internal/adaptive"
@@ -60,6 +61,14 @@ type Config struct {
 	BatchSize int // positive edges per batch (paper: 600; scaled default 200)
 	Epochs    int
 	LR        float64
+
+	// PrefetchDepth bounds how many upcoming mini-batches the pipelined
+	// training loop (Pipeline, TrainEpochPipelined) stages ahead of the
+	// consumer: prepared batches wait in a channel of this capacity while one
+	// more may be under construction, so with AdaBatch the importance
+	// selector's draws are at most PrefetchDepth+1 steps stale (DESIGN.md).
+	// Default 2 (double buffering). The synchronous TrainStep ignores it.
+	PrefetchDepth int
 
 	AdaBatch    bool             // temporal adaptive mini-batch selection (§III-A)
 	AdaNeighbor bool             // temporal adaptive neighbor sampling (§III-B)
@@ -114,6 +123,9 @@ func (c Config) Normalize() Config {
 	if c.BatchSize == 0 {
 		c.BatchSize = 200
 	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 2
+	}
 	if c.Epochs == 0 {
 		c.Epochs = 5
 	}
@@ -144,7 +156,15 @@ type Trainer struct {
 	Selector *adaptive.MiniBatchSelector // nil unless AdaBatch
 	Sampler  *adaptive.NeighborSampler   // nil unless AdaNeighbor
 
-	Finder    sampler.Finder
+	Finder sampler.Finder
+	// finderC is an independent finder instance (own RNG streams / call
+	// counter / TGL pointer array) for the hops resolved consumer-side when
+	// adaptive neighbor sampling is on. Dedicating an instance to each side
+	// of the pipeline keeps every finder's sampling stream a function of its
+	// own call order — so pipelined adaptive training is deterministic for a
+	// fixed seed and bitwise-equal to the synchronous loop, instead of
+	// depending on how producer and consumer interleave on one shared stream.
+	finderC   sampler.Finder
 	EdgeStore *featstore.Store
 	NodeStore *featstore.Store
 	Xfer      *device.XferStats
@@ -155,16 +175,33 @@ type Trainer struct {
 	Timer *stats.Timer
 	rng   *mathx.RNG
 
-	policy  sampler.Policy
-	scratch sampler.Result
-	cursor  int // chronological batch cursor (baseline mini-batching)
+	policy sampler.Policy
+	cursor int // chronological batch cursor (baseline mini-batching)
+
+	// pool recycles every minibatch-construction buffer. Each finder
+	// instance gets its own mutex (finders keep mutable RNG/pointer state):
+	// producer-side and consumer-side neighbor finding touch disjoint
+	// instances and may overlap, while concurrent callers of one instance —
+	// today only hypothetical multi-producer extensions — serialize.
+	pool      *buildPool
+	finderMuP sync.Mutex // guards Finder
+	finderMuC sync.Mutex // guards finderC
+
+	// Consumer-side step scratch (reused across consume calls, which are
+	// serialized by construction).
+	srcIdx, dstIdx []int32
+	labels         []float64
+	posLogits      []float64
 }
 
 // New builds a trainer for the dataset under cfg.
 func New(cfg Config, ds *datasets.Dataset) (*Trainer, error) {
 	cfg = cfg.Normalize()
 	rng := mathx.NewRNG(cfg.Seed)
-	t := &Trainer{Cfg: cfg, DS: ds, Timer: stats.NewTimer(), rng: rng, Xfer: device.NewXferStats()}
+	t := &Trainer{
+		Cfg: cfg, DS: ds, Timer: stats.NewTimer(), rng: rng,
+		Xfer: device.NewXferStats(), pool: newBuildPool(),
+	}
 
 	nodeDim := ds.Spec.NodeDim
 	edgeDim := ds.Spec.EdgeDim
@@ -199,13 +236,20 @@ func New(cfg Config, ds *datasets.Dataset) (*Trainer, error) {
 		return nil, fmt.Errorf("train: unknown finder policy %q", cfg.FinderPolicy)
 	}
 
+	// finderC's randomness derives from cfg.Seed directly rather than from
+	// rng.Split(), so adding the second instance does not advance the
+	// trainer stream and every downstream seed (selector, sampler, negative
+	// draws) stays exactly where it was before finderC existed.
 	switch cfg.Finder {
 	case FinderOrigin:
 		t.Finder = sampler.NewOriginFinder(ds.TCSR, rng.Split())
+		t.finderC = sampler.NewOriginFinder(ds.TCSR, mathx.NewRNG(cfg.Seed^0xc0de))
 	case FinderTGL:
 		t.Finder = sampler.NewTGLFinder(ds.TCSR, rng.Split())
+		t.finderC = sampler.NewTGLFinder(ds.TCSR, mathx.NewRNG(cfg.Seed^0xc0de))
 	case FinderGPU:
 		t.Finder = sampler.NewGPUFinder(ds.TCSR, device.New(), cfg.Seed^0xabcd)
+		t.finderC = sampler.NewGPUFinder(ds.TCSR, device.New(), cfg.Seed^0xc0de)
 	default:
 		return nil, fmt.Errorf("train: unknown finder %q", cfg.Finder)
 	}
@@ -272,17 +316,17 @@ func (t *Trainer) time(bucket string, f func()) {
 }
 
 // sliceEdges charges FS with both the real copy time and the modeled
-// transfer time of the rows fetched.
+// transfer time of the rows fetched. Slice reports its own call's modeled
+// cost, so concurrent slicing from the prefetch goroutine and the consumer
+// never cross-charges.
 func (t *Trainer) sliceEdges(ids []int32, dst *tensor.Matrix) {
-	before := t.Xfer.ModeledTime()
 	start := time.Now()
-	t.EdgeStore.Slice(ids, dst)
-	t.Timer.Add("FS", time.Since(start)+t.Xfer.ModeledTime()-before)
+	modeled := t.EdgeStore.Slice(ids, dst)
+	t.Timer.Add("FS", time.Since(start)+modeled)
 }
 
 func (t *Trainer) sliceNodes(ids []int32, dst *tensor.Matrix) {
-	before := t.Xfer.ModeledTime()
 	start := time.Now()
-	t.NodeStore.Slice(ids, dst)
-	t.Timer.Add("FS", time.Since(start)+t.Xfer.ModeledTime()-before)
+	modeled := t.NodeStore.Slice(ids, dst)
+	t.Timer.Add("FS", time.Since(start)+modeled)
 }
