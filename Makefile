@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full vet
+.PHONY: all build test bench bench-full vet serve loadtest
 
 all: build test
 
@@ -29,3 +29,13 @@ bench:
 bench-full:
 	$(GO) test -run='^$$' -bench='Step|Finder' -benchmem -benchtime=20x
 	$(GO) test ./internal/train -run='^$$' -bench=Build -benchmem -benchtime=200x
+
+# Online inference: pretrain briefly, then serve the HTTP/JSON API
+# (see cmd/taser-serve for endpoints and DESIGN.md §5 for the architecture).
+serve:
+	$(GO) run ./cmd/taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080
+
+# Closed-loop load test of the serving subsystem (in-process, no HTTP):
+# Zipfian request mix + streaming ingest; reports p50/p99, QPS, hit rate.
+loadtest:
+	$(GO) run ./cmd/taser-bench -exp serve -scale 0.05

@@ -242,6 +242,22 @@ func benchmarkExperiment(b *testing.B, fn func(bench.Options) error) {
 func BenchmarkExperimentTable1(b *testing.B) { benchmarkExperiment(b, bench.Table1) }
 
 func BenchmarkExperimentPipeline(b *testing.B) { benchmarkExperiment(b, bench.Pipeline) }
+
+// BenchmarkExperimentServe smoke-runs the online-serving load test at a tiny
+// profile (two client counts, few requests) so `go test -bench=.` exercises
+// ingest + micro-batched serving + the embedding cache end to end.
+func BenchmarkExperimentServe(b *testing.B) {
+	o := miniOptions()
+	o.ServeClients = []int{1, 4}
+	o.ServeRequests = 40
+	o.ServeIngestRate = 5000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Serve(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkExperimentTable2(b *testing.B)   { benchmarkExperiment(b, bench.Table2) }
 func BenchmarkExperimentTable3(b *testing.B)   { benchmarkExperiment(b, bench.Table3) }
 func BenchmarkExperimentFig1(b *testing.B)     { benchmarkExperiment(b, bench.Fig1) }

@@ -8,13 +8,14 @@
 //	taser-bench -exp all
 //
 // Experiments: table1, table2, table3, fig1, fig3a, fig3b, fig4,
-// ablation-encoder, ablation-decoder, ablation-cache, pipeline, all.
+// ablation-encoder, ablation-decoder, ablation-cache, pipeline, serve, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"taser/internal/bench"
@@ -22,23 +23,37 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|all)")
-		scale     = flag.Float64("scale", 0.25, "dataset scale multiplier")
-		epochs    = flag.Int("epochs", 6, "training epochs for accuracy experiments")
-		hidden    = flag.Int("hidden", 24, "hidden dimension")
-		batch     = flag.Int("batch", 150, "batch size (positive edges)")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		evalEdges = flag.Int("eval-edges", 300, "max edges per MRR evaluation")
-		dsNames   = flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|all)")
+		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
+		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
+		hidden     = flag.Int("hidden", 24, "hidden dimension")
+		batch      = flag.Int("batch", 150, "batch size (positive edges)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		evalEdges  = flag.Int("eval-edges", 300, "max edges per MRR evaluation")
+		dsNames    = flag.String("datasets", "", "comma-separated dataset subset (default: experiment's own)")
+		srvClients = flag.String("serve-clients", "", "serve: comma-separated client counts (default 1,4,16)")
+		srvReqs    = flag.Int("serve-requests", 0, "serve: requests per client (default 200)")
+		srvIngest  = flag.Float64("serve-ingest", 0, "serve: ingest rate, events/sec (default 2000)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
 		Out: os.Stdout, Scale: *scale, Epochs: *epochs, Hidden: *hidden,
 		BatchSize: *batch, Seed: *seed, MaxEvalEdges: *evalEdges,
+		ServeRequests: *srvReqs, ServeIngestRate: *srvIngest,
 	}
 	if *dsNames != "" {
 		opts.Datasets = strings.Split(*dsNames, ",")
+	}
+	if *srvClients != "" {
+		for _, s := range strings.Split(*srvClients, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "taser-bench: bad -serve-clients %q: %v\n", *srvClients, err)
+				os.Exit(2)
+			}
+			opts.ServeClients = append(opts.ServeClients, c)
+		}
 	}
 
 	experiments := map[string]func(bench.Options) error{
@@ -54,10 +69,11 @@ func main() {
 		"ablation-cache":      bench.AblationCache,
 		"ablation-heuristics": bench.AblationHeuristics,
 		"pipeline":            bench.Pipeline,
+		"serve":               bench.Serve,
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline"}
+		"pipeline", "serve"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

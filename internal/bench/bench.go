@@ -35,6 +35,12 @@ type Options struct {
 	// Datasets restricts experiments to these names (nil = experiment's
 	// default set).
 	Datasets []string
+
+	// Serving load-test knobs (-exp serve); zero values pick the defaults
+	// documented in Serve.
+	ServeClients    []int   // concurrent closed-loop clients per row
+	ServeRequests   int     // requests per client
+	ServeIngestRate float64 // ingest writer rate, events/sec
 }
 
 // Normalize fills defaults.

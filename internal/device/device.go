@@ -27,9 +27,38 @@ import (
 )
 
 // GPU models a SIMD accelerator with a fixed number of concurrently
-// executing blocks (worker goroutines ≈ streaming multiprocessors).
+// executing blocks (persistent worker goroutines ≈ streaming
+// multiprocessors). Workers are spawned once, on the first multi-worker
+// launch, and then fed launches over a channel — real accelerators keep
+// their SMs powered between kernels, and spawning goroutines per launch
+// made dispatch overhead scale with launch frequency, which the serving
+// path's many small batches would amplify.
 type GPU struct {
 	workers int
+
+	poolOnce sync.Once
+	work     chan *launch
+}
+
+// launch is one kernel grid in flight: workers atomically claim block
+// indices until the grid is exhausted, then signal completion.
+type launch struct {
+	blocks int64
+	next   int64
+	kernel func(worker, block int)
+	wg     sync.WaitGroup
+}
+
+// run executes the work-stealing loop on behalf of worker w.
+func (l *launch) run(w int) {
+	for {
+		b := atomic.AddInt64(&l.next, 1) - 1
+		if b >= l.blocks {
+			break
+		}
+		l.kernel(w, int(b))
+	}
+	l.wg.Done()
 }
 
 // New returns a GPU using one worker per available host core.
@@ -58,37 +87,55 @@ func (g *GPU) LaunchBlocks(blocks int, kernel func(block int)) {
 // passed to the kernel (the SM id, in hardware terms). Worker indices lie in
 // [0, Workers()); a kernel can therefore keep per-worker scratch — RNG state,
 // sampling bitmaps — without any synchronization, which is what makes the
-// neighbor-finder kernels allocation-free in steady state.
+// neighbor-finder kernels allocation-free in steady state. Each worker
+// goroutine owns a fixed index for its lifetime and processes one launch at
+// a time, so two blocks never run concurrently on the same index even when
+// launches overlap.
 func (g *GPU) LaunchBlocksIndexed(blocks int, kernel func(worker, block int)) {
 	if blocks <= 0 {
 		return
 	}
-	workers := g.workers
-	if workers > blocks {
-		workers = blocks
+	participants := g.workers
+	if participants > blocks {
+		participants = blocks
 	}
-	if workers == 1 {
+	if participants == 1 {
 		for b := 0; b < blocks; b++ {
 			kernel(0, b)
 		}
 		return
 	}
-	var next int64 = 0
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				b := int(atomic.AddInt64(&next, 1)) - 1
-				if b >= blocks {
-					return
-				}
-				kernel(w, b)
-			}
-		}(w)
+	work := g.pool()
+	l := &launch{blocks: int64(blocks), kernel: kernel}
+	// One handoff per participating worker. A worker that drains the grid
+	// early may pick up a second handoff of the same launch and complete it
+	// immediately; wg counts handoffs, so the accounting stays exact.
+	l.wg.Add(participants)
+	for i := 0; i < participants; i++ {
+		work <- l
 	}
-	wg.Wait()
+	l.wg.Wait()
+	// The pool channel must outlive the sends above: keep g (whose finalizer
+	// closes the channel) reachable until the launch has fully completed.
+	runtime.KeepAlive(g)
+}
+
+// pool lazily starts the persistent workers. They capture only the work
+// channel, so an unreachable GPU is collectable: its finalizer closes the
+// channel and the workers exit instead of leaking.
+func (g *GPU) pool() chan *launch {
+	g.poolOnce.Do(func() {
+		g.work = make(chan *launch)
+		for w := 0; w < g.workers; w++ {
+			go func(w int, work chan *launch) {
+				for l := range work {
+					l.run(w)
+				}
+			}(w, g.work)
+		}
+		runtime.SetFinalizer(g, func(g *GPU) { close(g.work) })
+	})
+	return g.work
 }
 
 // XferKind distinguishes the two paths features can take to the compute units.

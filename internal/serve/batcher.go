@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"taser/internal/autograd"
+	"taser/internal/sampler"
+)
+
+// reqKind distinguishes the two serving request types.
+type reqKind int
+
+const (
+	reqEmbed   reqKind = iota // one root: (src, t)
+	reqPredict                // two roots: (src, t) and (dst, t)
+)
+
+// request is one in-flight serving call, handed to the scheduler goroutine.
+type request struct {
+	kind     reqKind
+	src, dst int32
+	t        float64
+	out      chan response // buffered (1): the scheduler never blocks on a reply
+}
+
+func (r *request) rootCount() int {
+	if r.kind == reqPredict {
+		return 2
+	}
+	return 1
+}
+
+// response carries the result back to the caller.
+type response struct {
+	emb     []float64 // embed requests: caller-owned copy
+	score   float64   // predict requests: link logit
+	version uint64    // snapshot version served
+	cached  bool      // every root was served from the embedding cache
+	err     error
+}
+
+// EmbedResult is a served node embedding.
+type EmbedResult struct {
+	Embedding []float64
+	Version   uint64 // snapshot version the embedding was computed on
+	Cached    bool
+}
+
+// PredictResult is a served link-prediction logit.
+type PredictResult struct {
+	Score   float64
+	Version uint64
+	Cached  bool // both endpoint embeddings came from the cache
+}
+
+// Embed returns node's embedding at query time t, micro-batched with
+// concurrent requests against the engine's current snapshot.
+func (e *Engine) Embed(node int32, t float64) (EmbedResult, error) {
+	resp, err := e.submit(&request{kind: reqEmbed, src: node, t: t})
+	if err != nil {
+		return EmbedResult{}, err
+	}
+	return EmbedResult{Embedding: resp.emb, Version: resp.version, Cached: resp.cached}, nil
+}
+
+// PredictLink returns the link-prediction logit for (src, dst) at query time
+// t: both endpoints are embedded (sharing the micro-batch with concurrent
+// requests) and scored by the edge predictor.
+func (e *Engine) PredictLink(src, dst int32, t float64) (PredictResult, error) {
+	resp, err := e.submit(&request{kind: reqPredict, src: src, dst: dst, t: t})
+	if err != nil {
+		return PredictResult{}, err
+	}
+	return PredictResult{Score: resp.score, Version: resp.version, Cached: resp.cached}, nil
+}
+
+// submit validates, enqueues, and waits. Once the scheduler has accepted a
+// request it is guaranteed a response, even if Close races with the wait.
+func (e *Engine) submit(r *request) (response, error) {
+	if r.src < 0 || int(r.src) >= e.cfg.NumNodes || (r.kind == reqPredict && (r.dst < 0 || int(r.dst) >= e.cfg.NumNodes)) {
+		return response{}, fmt.Errorf("serve: node id out of range [0, %d)", e.cfg.NumNodes)
+	}
+	r.out = make(chan response, 1)
+	start := time.Now()
+	select {
+	case e.reqs <- r:
+	case <-e.quit:
+		return response{}, ErrClosed
+	}
+	resp := <-r.out
+	e.lat.add(time.Since(start))
+	e.requests.Add(1)
+	return resp, resp.err
+}
+
+// loop is the micro-batching scheduler: it coalesces requests until MaxBatch
+// roots are pending or the oldest pending request has waited MaxWait, then
+// flushes the batch through one pooled build + model forward. On Close it
+// flushes whatever it has accepted and exits.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	var pending []*request
+	pendingRoots := 0
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	doFlush := func() {
+		e.flush(pending)
+		for i := range pending {
+			pending[i] = nil
+		}
+		pending = pending[:0]
+		pendingRoots = 0
+	}
+	for {
+		select {
+		case r := <-e.reqs:
+			pending = append(pending, r)
+			pendingRoots += r.rootCount()
+			if pendingRoots >= e.cfg.MaxBatch {
+				stopTimer()
+				doFlush()
+			} else if len(pending) == 1 {
+				timer.Reset(e.cfg.MaxWait)
+			}
+		case <-timer.C:
+			if len(pending) > 0 {
+				doFlush()
+			}
+		case <-e.quit:
+			stopTimer()
+			if len(pending) > 0 {
+				doFlush()
+			}
+			return
+		}
+	}
+}
+
+// targetState is one deduplicated (node, t) root within a flush.
+type targetState struct {
+	node      int32
+	t         float64
+	lastTs    float64
+	cacheable bool // t ≥ lastTs and the cache is enabled
+	cached    bool
+	emb       []float64
+}
+
+// flush serves one micro-batch: pin the latest snapshot, retarget the builder
+// if the snapshot advanced, resolve roots through the embedding cache,
+// build + forward the misses in one pooled minibatch, then score and respond.
+func (e *Engine) flush(pending []*request) {
+	snap := e.snap.Load()
+	if snap.Version != e.builderVersion {
+		if err := e.builder.SwapGraph(snap.TCSR, snap.EdgeFeat); err != nil {
+			for _, r := range pending {
+				r.out <- response{err: err}
+			}
+			return
+		}
+		e.builderVersion = snap.Version
+	}
+
+	// Deduplicate roots: identical (node, t) pairs in one batch share a
+	// single embedding computation (Zipfian traffic makes this common).
+	type tkey struct {
+		node int32
+		t    float64
+	}
+	index := make(map[tkey]int, 2*len(pending))
+	states := make([]*targetState, 0, 2*len(pending))
+	d := e.cfg.Model.HiddenDim()
+	resolve := func(node int32, t float64) int {
+		k := tkey{node, t}
+		if i, ok := index[k]; ok {
+			return i
+		}
+		st := &targetState{node: node, t: t, lastTs: snap.LastEventTime(node)}
+		st.emb = make([]float64, d)
+		// Cache only queries at-or-after the node's last event: for those,
+		// N(node, t) equals the neighborhood the cached entry was computed
+		// on, so the entry is exact up to time-encoding drift.
+		st.cacheable = e.cache != nil && t >= st.lastTs
+		if st.cacheable && e.cache.get(node, st.lastTs, st.emb) {
+			st.cached = true
+		}
+		index[k] = len(states)
+		states = append(states, st)
+		return len(states) - 1
+	}
+	sIdx := make([]int, len(pending))
+	dIdx := make([]int, len(pending))
+	for i, r := range pending {
+		sIdx[i] = resolve(r.src, r.t)
+		dIdx[i] = -1
+		if r.kind == reqPredict {
+			dIdx[i] = resolve(r.dst, r.t)
+		}
+	}
+
+	// Build + forward the cache misses as one minibatch, padded to the next
+	// power of two so the buffer pool sees a handful of shape classes instead
+	// of one per distinct batch size. Forward is row-local (attention,
+	// normalization and token mixing all stay within a target's rows), so
+	// padding with sentinel roots never perturbs real outputs.
+	var miss []int
+	for i, st := range states {
+		if !st.cached {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) > 0 {
+		roots := make([]sampler.Target, len(miss), padBatch(len(miss)))
+		for i, si := range miss {
+			roots[i] = sampler.Target{Node: states[si].node, Time: states[si].t}
+		}
+		for len(roots) < cap(roots) {
+			roots = append(roots, sampler.Target{})
+		}
+		mb := e.builder.Build(roots)
+		g := autograd.New()
+		out, _ := e.cfg.Model.Forward(g, mb)
+		for i, si := range miss {
+			copy(states[si].emb, out.Val.Row(i))
+		}
+		e.builder.Release(mb)
+		for _, si := range miss {
+			if st := states[si]; st.cacheable {
+				e.cache.put(st.node, st.lastTs, st.emb)
+			}
+		}
+		e.batches.Add(1)
+		e.roots.Add(uint64(len(miss)))
+	}
+
+	// Score predict requests in one gathered pass over the resolved
+	// embeddings — the same decoder path offline evaluation uses.
+	scores := e.scorePairs(states, pending, sIdx, dIdx)
+
+	for i, r := range pending {
+		resp := response{version: snap.Version}
+		switch r.kind {
+		case reqEmbed:
+			// Copy: deduplicated requests must not share one backing array.
+			resp.emb = append([]float64(nil), states[sIdx[i]].emb...)
+			resp.cached = states[sIdx[i]].cached
+		case reqPredict:
+			resp.score = scores[i]
+			resp.cached = states[sIdx[i]].cached && states[dIdx[i]].cached
+		}
+		r.out <- resp
+	}
+}
+
+// scorePairs runs the edge predictor over every predict request in one
+// gathered forward; returns a slice aligned with pending (zero for embeds).
+func (e *Engine) scorePairs(states []*targetState, pending []*request, sIdx, dIdx []int) []float64 {
+	n := 0
+	for _, r := range pending {
+		if r.kind == reqPredict {
+			n++
+		}
+	}
+	scores := make([]float64, len(pending))
+	if n == 0 {
+		return scores
+	}
+	emb := autograd.NewConst(embMatrix(states, e.cfg.Model.HiddenDim()))
+	srcRows := make([]int32, 0, n)
+	dstRows := make([]int32, 0, n)
+	which := make([]int, 0, n)
+	for i, r := range pending {
+		if r.kind != reqPredict {
+			continue
+		}
+		srcRows = append(srcRows, int32(sIdx[i]))
+		dstRows = append(dstRows, int32(dIdx[i]))
+		which = append(which, i)
+	}
+	g := autograd.New()
+	logits := e.cfg.Pred.ScoreGathered(g, emb, srcRows, dstRows)
+	for j, i := range which {
+		scores[i] = logits.Val.Data[j]
+	}
+	return scores
+}
+
+// padBatch rounds n up to the next power of two (the pool shape classes).
+func padBatch(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"taser/internal/cache"
+	"taser/internal/tensor"
+)
+
+// embCache memoizes node embeddings across micro-batches, layered on
+// internal/cache's LRU for slot management and recency-based eviction.
+//
+// The key is (node, lastTs) where lastTs is the node's last event time in
+// the snapshot the entry was computed on. Ingesting an event that touches
+// the node advances lastTs in subsequent snapshots, so the stale entry stops
+// matching — ingest invalidates by key, with no explicit invalidation hook
+// between the writer and the cache. An entry served at query time t' was
+// computed at some earlier t ≥ lastTs over the *same* neighborhood; the only
+// divergence is the time-encoding drift Δt − Δt', bounded by the interval
+// between the two queries (see DESIGN.md's staleness analysis).
+type embCache struct {
+	mu     sync.Mutex
+	lru    *cache.LRU
+	lastTs []float64      // per-slot key; NaN marks a reserved-but-unfilled slot
+	emb    *tensor.Matrix // capacity×dim embedding rows
+
+	hits, stale, misses uint64
+}
+
+func newEmbCache(capacity, dim int) *embCache {
+	c := &embCache{
+		lru:    cache.NewLRU(capacity),
+		lastTs: make([]float64, capacity),
+		emb:    tensor.New(capacity, dim),
+	}
+	for i := range c.lastTs {
+		c.lastTs[i] = math.NaN() // never equal to any real key
+	}
+	return c
+}
+
+// get copies the cached embedding for (node, lastTs) into dst and reports a
+// hit. A miss reserves the node's slot (evicting the LRU victim), marking it
+// unfilled so no later lookup can hit garbage; the caller is expected to
+// compute the embedding and put it.
+func (c *embCache) get(node int32, lastTs float64, dst []float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, resident := c.lru.Access(node)
+	if resident && c.lastTs[slot] == lastTs {
+		c.hits++
+		copy(dst, c.emb.Row(slot))
+		return true
+	}
+	if resident {
+		c.stale++ // resident but computed before the node's latest event
+	}
+	c.misses++
+	c.lastTs[slot] = math.NaN()
+	return false
+}
+
+// put fills the slot reserved by a prior get. If the node was evicted in the
+// meantime (another miss in the same flush claimed its slot), the value is
+// simply dropped.
+func (c *embCache) put(node int32, lastTs float64, emb []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.lru.Lookup(node)
+	if !ok {
+		return
+	}
+	c.lastTs[slot] = lastTs
+	copy(c.emb.Row(slot), emb)
+}
+
+// counts returns (hits, stale, misses); stale lookups are a subset of misses.
+func (c *embCache) counts() (hits, stale, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.stale, c.misses
+}
+
+// embMatrix packs per-state embeddings into one matrix for gathered scoring.
+func embMatrix(states []*targetState, dim int) *tensor.Matrix {
+	m := tensor.New(len(states), dim)
+	for i, st := range states {
+		copy(m.Row(i), st.emb)
+	}
+	return m
+}

@@ -1,0 +1,310 @@
+// Package serve is TASER's online inference subsystem: it serves link
+// prediction and node embeddings while the temporal graph is still growing —
+// the deployment shape of the paper's motivating applications (fraud
+// detection, recommendation), where events stream in continuously and
+// predictions cannot wait for a retraining cycle.
+//
+// Three mechanisms compose:
+//
+//   - Concurrent ingest (this file). A guarded tgraph.Builder accepts edge
+//     events from any number of writers and periodically publishes immutable
+//     (Graph, T-CSR, edge-feature) snapshots through an atomic pointer swap.
+//     Readers pin a snapshot for the duration of a request; ingest never
+//     blocks inference and inference never blocks ingest — the epoch-style
+//     separation of a production feature store, with Go's GC standing in for
+//     epoch reclamation.
+//
+//   - Micro-batched serving (batcher.go). Concurrent requests are coalesced
+//     into minibatches (bounded by MaxBatch roots and MaxWait latency) and
+//     run through the pooled, allocation-free build path the training loop
+//     uses (train.InferenceBuilder over internal/train/pool.go) and one model
+//     forward — amortizing neighbor finding and feature slicing across
+//     requests exactly as training amortizes them across a batch.
+//
+//   - An embedding cache (embcache.go). Node embeddings are memoized keyed by
+//     (node, last-event-time in the pinned snapshot), layered on
+//     internal/cache's LRU; ingesting an event that touches a node changes
+//     its key, so hot nodes are served from cache until the stream
+//     invalidates them. See DESIGN.md for the staleness bound.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taser/internal/device"
+	"taser/internal/models"
+	"taser/internal/sampler"
+	"taser/internal/tensor"
+	"taser/internal/tgraph"
+	"taser/internal/train"
+)
+
+// ErrClosed is returned by serving calls after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// ErrStaleEvent wraps ingest rejections of events behind the watermark.
+var ErrStaleEvent = errors.New("serve: event behind ingest watermark")
+
+// Config wires a trained model into an online engine. Model and Pred are
+// typically taken from an offline train.Trainer after pretraining.
+type Config struct {
+	Model models.TGNN
+	Pred  *models.EdgePredictor
+
+	NumNodes int
+	NodeFeat *tensor.Matrix // static node features (nil when the graph has none)
+	EdgeDim  int            // per-event edge-feature width (0 when absent)
+
+	Budget int              // supporting neighbors per hop (default 10)
+	Policy sampler.Policy   // static sampling policy (default MostRecent: deterministic serving)
+	Finder train.FinderKind // default FinderGPU (requests arrive in arbitrary time order)
+
+	MaxBatch      int           // max roots coalesced per micro-batch (default 32)
+	MaxWait       time.Duration // max time the first request of a batch waits (default 2ms)
+	CacheSize     int           // embedding-cache capacity in nodes (0 disables)
+	SnapshotEvery int           // publish a snapshot every k ingested events (default 256)
+
+	Seed uint64
+	Xfer *device.XferStats // optional transfer accounting shared with offline runs
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.Model == nil {
+		return c, fmt.Errorf("serve: Config.Model is required")
+	}
+	if c.Pred == nil {
+		return c, fmt.Errorf("serve: Config.Pred is required")
+	}
+	if c.NumNodes <= 0 {
+		return c, fmt.Errorf("serve: Config.NumNodes must be positive")
+	}
+	if c.Budget == 0 {
+		c.Budget = 10
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
+	}
+	return c, nil
+}
+
+// Snapshot is one immutable published view of the stream: a packed graph,
+// its T-CSR, and the edge features aligned with its event ids. All fields
+// are read-only after publication; any number of readers may share one.
+type Snapshot struct {
+	Version   uint64
+	Graph     *tgraph.Graph
+	TCSR      *tgraph.TCSR
+	EdgeFeat  *tensor.Matrix
+	Watermark float64 // ingest watermark at publication
+}
+
+// NumEvents reports the snapshot's event count.
+func (s *Snapshot) NumEvents() int { return s.Graph.NumEvents() }
+
+// LastEventTime returns the timestamp of node v's most recent event in the
+// snapshot (0 for a node with no events yet). Together with the node id it is
+// the embedding-cache key: v's temporal neighborhood N(v, t) is identical for
+// every query time t ≥ LastEventTime(v), so one cached embedding serves all
+// of them (up to time-encoding drift; see DESIGN.md).
+func (s *Snapshot) LastEventTime(v int32) float64 {
+	_, ts, _ := s.TCSR.Adj(v)
+	if len(ts) == 0 {
+		return 0
+	}
+	return ts[len(ts)-1]
+}
+
+// Engine is the online inference engine. All exported methods are safe for
+// concurrent use: ingest methods synchronize on an internal writer lock,
+// serving methods funnel through the micro-batching scheduler.
+type Engine struct {
+	cfg Config
+
+	// Ingest side: the guarded builder plus the growable flat edge-feature
+	// rows (row i belongs to event i, the order Snapshot preserves).
+	ingestMu  sync.Mutex
+	gb        *tgraph.Builder
+	edgeFeat  []float64
+	zeroRow   []float64
+	sinceSnap int
+	version   uint64
+	snap      atomic.Pointer[Snapshot]
+
+	// Serving side (owned by the scheduler goroutine).
+	builder        *train.InferenceBuilder
+	builderVersion uint64
+	cache          *embCache
+
+	reqs      chan *request
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	roots    atomic.Uint64
+	lat      latencyRing
+}
+
+// New builds and starts an engine. The initial published snapshot is the
+// empty graph (version 1); Bootstrap or Ingest events to grow it.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		gb:   tgraph.NewBuilder(cfg.NumNodes),
+		reqs: make(chan *request),
+		quit: make(chan struct{}),
+	}
+	if cfg.EdgeDim > 0 {
+		e.zeroRow = make([]float64, cfg.EdgeDim)
+	}
+	e.publishLocked() // version 1: empty graph, serving works immediately
+	snap := e.snap.Load()
+	e.builder, err = train.NewInferenceBuilder(train.InferConfig{
+		TCSR: snap.TCSR, NodeFeat: cfg.NodeFeat, EdgeFeat: snap.EdgeFeat,
+		Layers: cfg.Model.NumLayers(), Budget: cfg.Budget,
+		Policy: cfg.Policy, Finder: cfg.Finder, Seed: cfg.Seed, Xfer: cfg.Xfer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.builderVersion = snap.Version
+	if cfg.CacheSize > 0 {
+		e.cache = newEmbCache(cfg.CacheSize, cfg.Model.HiddenDim())
+	}
+	e.lat.init(4096)
+	e.wg.Add(1)
+	go e.loop()
+	return e, nil
+}
+
+// Close shuts the scheduler down after serving every request it has already
+// accepted. Serving calls issued after (or racing with) Close return
+// ErrClosed. Safe to call multiple times.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.quit)
+		e.wg.Wait()
+	})
+}
+
+// Ingest admits one streaming edge event. Events must arrive at or after the
+// current watermark (LastTime of the underlying builder); stale events are
+// rejected with an error wrapping ErrStaleEvent that reports the watermark,
+// so producers can resynchronize. feat is the event's edge-feature row (nil
+// admits a zero row when the graph carries edge features).
+//
+// Ingest holds only the writer lock: concurrent serving requests keep
+// reading their pinned snapshots untouched. Every SnapshotEvery admitted
+// events a new snapshot is published (an O(events) repack, charged to the
+// writer, never to readers).
+func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
+	if e.cfg.EdgeDim > 0 && feat != nil && len(feat) != e.cfg.EdgeDim {
+		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), e.cfg.EdgeDim)
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if wm := e.gb.LastTime(); t < wm {
+		return fmt.Errorf("%w: event (%d→%d) at t=%v arrived behind watermark t=%v",
+			ErrStaleEvent, src, dst, t, wm)
+	}
+	if err := e.gb.Add(src, dst, t); err != nil {
+		return fmt.Errorf("serve: ingest rejected (watermark t=%v): %w", e.gb.LastTime(), err)
+	}
+	e.appendFeatLocked(feat)
+	e.sinceSnap++
+	if e.sinceSnap >= e.cfg.SnapshotEvery {
+		e.publishLocked()
+	}
+	return nil
+}
+
+// Bootstrap bulk-loads a historical event prefix (e.g. the offline training
+// split) under one writer lock and publishes a single snapshot at the end,
+// avoiding the per-SnapshotEvery repacks of event-by-event Ingest. feats may
+// be nil; otherwise row i is event i's edge-feature row.
+func (e *Engine) Bootstrap(events []tgraph.Event, feats *tensor.Matrix) error {
+	if feats != nil && feats.Cols != e.cfg.EdgeDim {
+		return fmt.Errorf("serve: bootstrap feature width %d, want %d", feats.Cols, e.cfg.EdgeDim)
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	for i, ev := range events {
+		if err := e.gb.Add(ev.Src, ev.Dst, ev.Time); err != nil {
+			return fmt.Errorf("serve: bootstrap event %d (watermark t=%v): %w", i, e.gb.LastTime(), err)
+		}
+		var row []float64
+		if feats != nil {
+			row = feats.Row(i)
+		}
+		e.appendFeatLocked(row)
+	}
+	e.publishLocked()
+	return nil
+}
+
+// PublishSnapshot forces an immediate snapshot publication (e.g. before a
+// consistency check) and returns it.
+func (e *Engine) PublishSnapshot() *Snapshot {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.publishLocked()
+	return e.snap.Load()
+}
+
+// Pin returns the current published snapshot. The result is immutable and
+// remains valid indefinitely; holding it is what "pinning" means.
+func (e *Engine) Pin() *Snapshot { return e.snap.Load() }
+
+// Watermark reports the ingest watermark (which may be ahead of the latest
+// published snapshot's).
+func (e *Engine) Watermark() float64 {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.gb.LastTime()
+}
+
+// NumEvents reports the live ingested event count (which may be ahead of the
+// latest published snapshot's).
+func (e *Engine) NumEvents() int {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.gb.NumEvents()
+}
+
+func (e *Engine) appendFeatLocked(feat []float64) {
+	if e.cfg.EdgeDim == 0 {
+		return
+	}
+	if feat == nil {
+		feat = e.zeroRow
+	}
+	e.edgeFeat = append(e.edgeFeat, feat...)
+}
+
+func (e *Engine) publishLocked() {
+	g, tcsr := e.gb.Snapshot()
+	ef := tensor.New(g.NumEvents(), e.cfg.EdgeDim)
+	copy(ef.Data, e.edgeFeat)
+	e.version++
+	e.snap.Store(&Snapshot{
+		Version: e.version, Graph: g, TCSR: tcsr, EdgeFeat: ef,
+		Watermark: e.gb.LastTime(),
+	})
+	e.sinceSnap = 0
+}

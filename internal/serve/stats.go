@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"taser/internal/stats"
+)
+
+// latencyRing keeps the most recent request latencies for percentile
+// reporting: a fixed ring so a long-running engine's stats stay O(1) in
+// memory and reflect recent behavior rather than the whole history.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []float64 // seconds
+	n   uint64    // total samples ever
+	idx int
+}
+
+func (r *latencyRing) init(capacity int) {
+	r.buf = make([]float64, 0, capacity)
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d.Seconds())
+		return
+	}
+	r.buf[r.idx] = d.Seconds()
+	r.idx = (r.idx + 1) % len(r.buf)
+}
+
+// quantile returns the q-quantile of the retained window (0 when empty).
+func (r *latencyRing) quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return 0
+	}
+	return time.Duration(stats.Quantile(r.buf, q) * float64(time.Second))
+}
+
+// Stats is a point-in-time summary of the engine.
+type Stats struct {
+	Requests uint64 // serving calls completed
+	Batches  uint64 // micro-batches that reached the model forward
+	Roots    uint64 // non-cached roots embedded across those batches
+
+	CacheHits   uint64
+	CacheStale  uint64 // resident entries invalidated by ingest (subset of misses)
+	CacheMisses uint64
+
+	SnapshotVersion uint64
+	Watermark       float64 // latest published snapshot's watermark
+	Events          int     // events in the latest published snapshot
+
+	P50, P99 time.Duration // over the recent-latency window
+}
+
+// CacheHitRate returns hits/(hits+misses), 0 when the cache is off or cold.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// AvgBatch returns the mean non-cached roots per model forward.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Roots) / float64(s.Batches)
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Requests: e.requests.Load(),
+		Batches:  e.batches.Load(),
+		Roots:    e.roots.Load(),
+		P50:      e.lat.quantile(0.50),
+		P99:      e.lat.quantile(0.99),
+	}
+	if e.cache != nil {
+		s.CacheHits, s.CacheStale, s.CacheMisses = e.cache.counts()
+	}
+	if snap := e.snap.Load(); snap != nil {
+		s.SnapshotVersion = snap.Version
+		s.Watermark = snap.Watermark
+		s.Events = snap.NumEvents()
+	}
+	return s
+}

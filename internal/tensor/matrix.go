@@ -54,6 +54,14 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view (no copy) of row i.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// SliceRows returns a view (no copy) of the first n rows.
+func (m *Matrix) SliceRows(n int) *Matrix {
+	if n < 0 || n > m.Rows {
+		panic(fmt.Sprintf("tensor: SliceRows(%d) of %dx%d matrix", n, m.Rows, m.Cols))
+	}
+	return FromSlice(n, m.Cols, m.Data[:n*m.Cols])
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)

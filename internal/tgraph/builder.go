@@ -54,6 +54,12 @@ func (b *Builder) Add(src, dst int32, t float64) error {
 // NumEvents reports the events ingested so far.
 func (b *Builder) NumEvents() int { return len(b.events) }
 
+// LastTime reports the stream watermark: the timestamp of the most recently
+// ingested event (0 for an empty builder). Add accepts only events at or
+// after this time, so callers that own the builder can surface the watermark
+// in admission errors and staleness decisions.
+func (b *Builder) LastTime() float64 { return b.lastT }
+
 // Neighborhood returns N(v, t) views over the live adjacency (valid until
 // the next Add touching v).
 func (b *Builder) Neighborhood(v int32, t float64) (nbr []int32, ts []float64, eid []int32) {

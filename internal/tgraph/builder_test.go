@@ -28,6 +28,36 @@ func TestBuilderBasicFlow(t *testing.T) {
 	}
 }
 
+func TestBuilderLastTimeTracksWatermark(t *testing.T) {
+	b := NewBuilder(3)
+	if b.LastTime() != 0 {
+		t.Fatal("empty builder watermark must be 0")
+	}
+	if err := b.Add(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if b.LastTime() != 2.5 {
+		t.Fatalf("watermark = %v, want 2.5", b.LastTime())
+	}
+	// A rejected (stale) event must not move the watermark.
+	if err := b.Add(1, 2, 1.0); err == nil {
+		t.Fatal("stale event must error")
+	}
+	if b.LastTime() != 2.5 {
+		t.Fatalf("watermark moved on rejected event: %v", b.LastTime())
+	}
+	// Simultaneous events keep it in place; later events advance it.
+	if err := b.Add(1, 2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if b.LastTime() != 4 {
+		t.Fatalf("watermark = %v, want 4", b.LastTime())
+	}
+}
+
 func TestBuilderRejectsBadInput(t *testing.T) {
 	b := NewBuilder(2)
 	if err := b.Add(0, 5, 1); err == nil {

@@ -232,6 +232,15 @@ func appendExtendedTargets(next, targets []sampler.Target, block *models.LayerBl
 // block (the non-adaptive path).
 func (t *Trainer) blockFromResult(targets []sampler.Target, res *sampler.Result) *models.LayerBlock {
 	block := t.pool.getBlock(len(targets), res.Budget, t.DS.Spec.EdgeDim)
+	fillBlockFromResult(block, targets, res)
+	return block
+}
+
+// fillBlockFromResult copies a finder result into a zeroed block of matching
+// shape and finishes the mask. Shared by the training build path and the
+// detached InferenceBuilder, so served minibatches are constructed by the
+// byte-identical kernel the offline loop uses.
+func fillBlockFromResult(block *models.LayerBlock, targets []sampler.Target, res *sampler.Result) {
 	for i, tg := range targets {
 		for j := 0; j < int(res.Counts[i]); j++ {
 			s := res.Slot(i, j)
@@ -239,7 +248,6 @@ func (t *Trainer) blockFromResult(targets []sampler.Target, res *sampler.Result)
 		}
 	}
 	block.FinishMask()
-	return block
 }
 
 // sliceBlockEdges fetches the block's edge features (eids aligned with the
