@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full vet serve loadtest
+.PHONY: all build test bench bench-full bench-ingest vet serve loadtest
 
 all: build test
 
@@ -39,3 +39,8 @@ serve:
 # Zipfian request mix + streaming ingest; reports p50/p99, QPS, hit rate.
 loadtest:
 	$(GO) run ./cmd/taser-bench -exp serve -scale 0.05
+
+# Streaming-ingest publication cost: incremental snapshots vs the full
+# O(events) repack, across stream lengths (see EXPERIMENTS.md).
+bench-ingest:
+	$(GO) run ./cmd/taser-bench -exp ingest

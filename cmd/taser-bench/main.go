@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -34,6 +34,9 @@ func main() {
 		srvClients = flag.String("serve-clients", "", "serve: comma-separated client counts (default 1,4,16)")
 		srvReqs    = flag.Int("serve-requests", 0, "serve: requests per client (default 200)")
 		srvIngest  = flag.Float64("serve-ingest", 0, "serve: ingest rate, events/sec (default 2000)")
+		ingEvents  = flag.String("ingest-events", "", "ingest: comma-separated stream lengths (default 8192,16384,32768,65536)")
+		ingEvery   = flag.Int("ingest-every", 0, "ingest: events per snapshot publication (default 256)")
+		ingNodes   = flag.Int("ingest-nodes", 0, "ingest: node-id space of the synthetic stream (default 2000)")
 	)
 	flag.Parse()
 
@@ -41,20 +44,28 @@ func main() {
 		Out: os.Stdout, Scale: *scale, Epochs: *epochs, Hidden: *hidden,
 		BatchSize: *batch, Seed: *seed, MaxEvalEdges: *evalEdges,
 		ServeRequests: *srvReqs, ServeIngestRate: *srvIngest,
+		IngestEvery: *ingEvery, IngestNodes: *ingNodes,
 	}
 	if *dsNames != "" {
 		opts.Datasets = strings.Split(*dsNames, ",")
 	}
-	if *srvClients != "" {
-		for _, s := range strings.Split(*srvClients, ",") {
+	parseInts := func(flagName, csv string) []int {
+		if csv == "" {
+			return nil
+		}
+		var out []int
+		for _, s := range strings.Split(csv, ",") {
 			c, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "taser-bench: bad -serve-clients %q: %v\n", *srvClients, err)
+				fmt.Fprintf(os.Stderr, "taser-bench: bad %s %q: %v\n", flagName, csv, err)
 				os.Exit(2)
 			}
-			opts.ServeClients = append(opts.ServeClients, c)
+			out = append(out, c)
 		}
+		return out
 	}
+	opts.ServeClients = parseInts("-serve-clients", *srvClients)
+	opts.IngestEvents = parseInts("-ingest-events", *ingEvents)
 
 	experiments := map[string]func(bench.Options) error{
 		"table1":              bench.Table1,
@@ -70,10 +81,11 @@ func main() {
 		"ablation-heuristics": bench.AblationHeuristics,
 		"pipeline":            bench.Pipeline,
 		"serve":               bench.Serve,
+		"ingest":              bench.Ingest,
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve"}
+		"pipeline", "serve", "ingest"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -20,12 +20,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"taser/internal/datasets"
@@ -49,6 +52,7 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max coalescing wait per micro-batch")
 		cacheSize = flag.Int("emb-cache", 4096, "embedding-cache capacity in nodes (0 disables)")
 		snapEvery = flag.Int("snapshot-every", 256, "publish a snapshot every k ingested events")
+		latWindow = flag.Int("latency-window", 0, "request latencies retained for P50/P99 stats (0 = default 4096)")
 		replay    = flag.Bool("replay", false, "replay the val/test split through ingest at startup")
 	)
 	flag.Parse()
@@ -78,13 +82,13 @@ func main() {
 		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
 		Budget: *n, Policy: sampler.MostRecent,
 		MaxBatch: *maxBatch, MaxWait: *maxWait,
-		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, Seed: *seed,
+		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, LatencyWindow: *latWindow,
+		Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
 		os.Exit(1)
 	}
-	defer engine.Close()
 
 	// Bootstrap with the training split; the rest of the stream arrives via
 	// /v1/ingest (or -replay for a self-contained demo).
@@ -93,7 +97,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "taser-serve: bootstrap: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("bootstrapped %d events (watermark t=%v)\n", ds.TrainEnd, engine.Watermark())
+	wm, _ := engine.Watermark()
+	fmt.Printf("bootstrapped %d events (watermark t=%v)\n", ds.TrainEnd, wm)
 	if *replay {
 		for i := ds.TrainEnd; i < len(ds.Graph.Events); i++ {
 			ev := ds.Graph.Events[i]
@@ -107,7 +112,8 @@ func main() {
 			}
 		}
 		engine.PublishSnapshot() // serve the replayed tail immediately
-		fmt.Printf("replayed to watermark t=%v\n", engine.Watermark())
+		wm, _ := engine.Watermark()
+		fmt.Printf("replayed to watermark t=%v\n", wm)
 	}
 
 	mux := http.NewServeMux()
@@ -128,7 +134,8 @@ func main() {
 			writeErr(w, code, err)
 			return
 		}
-		writeJSON(w, map[string]any{"events": engine.NumEvents(), "watermark": engine.Watermark()})
+		wm, _ := engine.Watermark() // the event just admitted set it
+		writeJSON(w, map[string]any{"events": engine.NumEvents(), "watermark": wm})
 	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -166,16 +173,40 @@ func main() {
 			"requests": st.Requests, "batches": st.Batches,
 			"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
 			"cache_hits": st.CacheHits, "cache_stale": st.CacheStale, "cache_misses": st.CacheMisses,
-			"snapshot_version": st.SnapshotVersion, "watermark": st.Watermark, "events": st.Events,
+			"snapshot_version": st.SnapshotVersion,
+			"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
+			"events": st.Events,
 			"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		})
 	})
 
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting connections,
+	// finish in-flight handlers, and only then close the engine so every
+	// accepted micro-batch is served. A bare http.ListenAndServe would block
+	// until process kill and the deferred engine.Close would never run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	select {
+	case err := <-errc: // listener failed before any signal
+		engine.Close()
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("shutting down: draining HTTP connections and the engine")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "taser-serve: shutdown: %v\n", err)
+	}
+	engine.Close()
+	fmt.Println("bye")
 }
 
 // decode parses the JSON body into dst, writing a 400 on failure.

@@ -41,6 +41,12 @@ type Options struct {
 	ServeClients    []int   // concurrent closed-loop clients per row
 	ServeRequests   int     // requests per client
 	ServeIngestRate float64 // ingest writer rate, events/sec
+
+	// Ingest experiment knobs (-exp ingest); zero values pick the defaults
+	// documented in Ingest.
+	IngestEvents []int // stream lengths per row (default 8192..65536)
+	IngestEvery  int   // events per snapshot publication (default 256)
+	IngestNodes  int   // node-id space of the synthetic stream (default 2000)
 }
 
 // Normalize fills defaults.
@@ -71,6 +77,12 @@ func (o Options) Normalize() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.IngestEvery == 0 {
+		o.IngestEvery = 256
+	}
+	if o.IngestNodes == 0 {
+		o.IngestNodes = 2000
 	}
 	return o
 }

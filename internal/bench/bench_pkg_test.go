@@ -144,3 +144,20 @@ func TestAblationsSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestIngestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.IngestEvents = []int{1024, 2048}
+	o.IngestEvery = 128
+	o.IngestNodes = 300
+	if err := Ingest(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Incremental vs full-repack", "1024", "2048", "publishes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ingest output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"taser/internal/mathx"
+	"taser/internal/tgraph"
+)
+
+// Ingest measures what incremental T-CSR snapshots buy the streaming ingest
+// path: publish latency and total ingest cost versus stream length, for the
+// incremental publisher (tgraph.Builder.Snapshot: shared event list, chunked
+// adjacency re-freezing only touched node ranges) against the full repack
+// the serving engine used before (copy every event, NewGraph, BuildTCSR —
+// O(events) per publication, O(N²/SnapshotEvery) over a stream of N events).
+//
+// The signal is in the last-publish column: the full repack's per-publish
+// latency grows linearly with the stream while the incremental publisher's
+// stays near-flat (it tracks the delta and the chunk-table size, not N).
+// Wall-clock noise on the 1-CPU dev container is high (±25%); the *shape*
+// across stream lengths is the hardware-independent claim — see
+// EXPERIMENTS.md.
+func Ingest(o Options) error {
+	o = o.Normalize()
+	numNodes := o.IngestNodes
+	every := o.IngestEvery
+	lengths := o.IngestEvents
+	if len(lengths) == 0 {
+		lengths = []int{8192, 16384, 32768, 65536}
+	}
+
+	fmt.Fprintf(o.Out, "Incremental vs full-repack snapshot publication (nodes=%d, publish every %d events)\n",
+		numNodes, every)
+	fmt.Fprintf(o.Out, "%-8s %-9s | %12s %12s %8s | %13s %13s %8s\n",
+		"events", "publishes",
+		"full(ms)", "incr(ms)", "speedup",
+		"full-last(µs)", "incr-last(µs)", "ratio")
+	for _, n := range lengths {
+		full := runFullRepack(o.Seed, numNodes, n, every)
+		incr := runIncremental(o.Seed, numNodes, n, every)
+		fmt.Fprintf(o.Out, "%-8d %-9d | %12.1f %12.1f %7.1fx | %13.0f %13.0f %7.1fx\n",
+			n, n/every,
+			ms(full.total), ms(incr.total), ratio(full.total, incr.total),
+			us(full.last), us(incr.last), ratio(full.last, incr.last))
+	}
+	return nil
+}
+
+type ingestRun struct {
+	total time.Duration // whole stream: every Add plus every publication
+	last  time.Duration // latency of the final publication alone
+}
+
+// streamEvent deterministically generates event i of the synthetic stream;
+// both strategies see the identical sequence.
+func streamEvent(rng *mathx.RNG, numNodes int, tm *float64) tgraph.Event {
+	*tm += rng.Float64()
+	return tgraph.Event{Src: int32(rng.Intn(numNodes)), Dst: int32(rng.Intn(numNodes)), Time: *tm}
+}
+
+// runIncremental streams n events through a Builder, publishing an
+// incremental snapshot every `every` events (the serve.Engine ingest path).
+func runIncremental(seed uint64, numNodes, n, every int) ingestRun {
+	rng := mathx.NewRNG(seed ^ 0x1239e57)
+	b := tgraph.NewBuilder(numNodes)
+	var r ingestRun
+	tm := 0.0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ev := streamEvent(rng, numNodes, &tm)
+		if err := b.Add(ev.Src, ev.Dst, ev.Time); err != nil {
+			panic(err) // synthetic stream is chronological by construction
+		}
+		if (i+1)%every == 0 {
+			p := time.Now()
+			b.Snapshot()
+			r.last = time.Since(p)
+		}
+	}
+	r.total = time.Since(start)
+	return r
+}
+
+// runFullRepack streams the same n events into a plain event list and
+// publishes by repacking from scratch — the pre-incremental engine behavior:
+// copy all events, NewGraph, BuildTCSR.
+func runFullRepack(seed uint64, numNodes, n, every int) ingestRun {
+	rng := mathx.NewRNG(seed ^ 0x1239e57)
+	events := make([]tgraph.Event, 0, n)
+	var r ingestRun
+	tm := 0.0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		events = append(events, streamEvent(rng, numNodes, &tm))
+		if (i+1)%every == 0 {
+			p := time.Now()
+			g, err := tgraph.NewGraph(numNodes, append([]tgraph.Event(nil), events...))
+			if err != nil {
+				panic(err)
+			}
+			tgraph.BuildTCSR(g)
+			r.last = time.Since(p)
+		}
+	}
+	r.total = time.Since(start)
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

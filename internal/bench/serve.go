@@ -101,7 +101,7 @@ func serveRow(o Options, numNodes, edgeDim int, tr *train.Trainer, clients, cach
 		defer ingestWG.Done()
 		rng := mathx.NewRNG(o.Seed ^ 0xfeed)
 		interval := time.Duration(float64(time.Second) / rate)
-		tick := e.Watermark()
+		tick, _ := e.Watermark()
 		for {
 			select {
 			case <-stop:

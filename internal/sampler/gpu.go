@@ -18,7 +18,7 @@ import (
 // results are reproducible regardless of how the scheduler interleaves
 // blocks.
 type GPUFinder struct {
-	tcsr *tgraph.TCSR
+	tcsr tgraph.Adjacency
 	gpu  *device.GPU
 	seed uint64
 	call uint64
@@ -30,8 +30,10 @@ type GPUFinder struct {
 	scratch []fillScratch
 }
 
-// NewGPUFinder builds the finder on the given device.
-func NewGPUFinder(t *tgraph.TCSR, gpu *device.GPU, seed uint64) *GPUFinder {
+// NewGPUFinder builds the finder on the given device. The adjacency may be
+// any packed layout (flat TCSR or an incrementally published AppendableTCSR);
+// the kernel only reads per-node views.
+func NewGPUFinder(t tgraph.Adjacency, gpu *device.GPU, seed uint64) *GPUFinder {
 	return &GPUFinder{
 		tcsr: t, gpu: gpu, seed: seed,
 		rngs:    make([]mathx.RNG, gpu.Workers()),

@@ -24,14 +24,14 @@ type OriginFinder struct {
 	// adjacency element visited.
 	Overhead int
 
-	tcsr    *tgraph.TCSR
+	tcsr    tgraph.Adjacency
 	rng     *mathx.RNG
 	scratch fillScratch
 }
 
-// NewOriginFinder builds the finder over the given T-CSR with the default
-// interpreter-emulation overhead.
-func NewOriginFinder(t *tgraph.TCSR, rng *mathx.RNG) *OriginFinder {
+// NewOriginFinder builds the finder over the given packed adjacency with the
+// default interpreter-emulation overhead.
+func NewOriginFinder(t tgraph.Adjacency, rng *mathx.RNG) *OriginFinder {
 	return &OriginFinder{Overhead: 60, tcsr: t, rng: rng}
 }
 

@@ -39,7 +39,7 @@ func randomTCSR(seed uint64, n, m int) *tgraph.TCSR {
 	return tgraph.BuildTCSR(g)
 }
 
-func allFinders(t *testing.T, tc *tgraph.TCSR) []Finder {
+func allFinders(t *testing.T, tc tgraph.Adjacency) []Finder {
 	t.Helper()
 	rng := mathx.NewRNG(7)
 	return []Finder{
@@ -393,5 +393,68 @@ func TestPolicyString(t *testing.T) {
 	}
 	if Policy(9).String() == "" {
 		t.Fatal("unknown policy must still format")
+	}
+}
+
+// TestFindersObliviousToAdjacencyLayout: every finder must return
+// bitwise-identical samples over the flat batch-built TCSR and over the
+// chunked AppendableTCSR a Builder publishes incrementally for the same
+// event stream — the reader-side contract of incremental snapshots.
+func TestFindersObliviousToAdjacencyLayout(t *testing.T) {
+	const n, m = 40, 800
+	flat := randomTCSR(21, n, m)
+	// Rebuild the identical stream through the streaming path, snapshotting
+	// twice mid-stream so the final layout genuinely shares frozen chunks.
+	rng := mathx.NewRNG(21)
+	events := make([]tgraph.Event, m)
+	for i := range events {
+		events[i] = tgraph.Event{
+			Src:  int32(rng.Intn(n)),
+			Dst:  int32(rng.Intn(n)),
+			Time: rng.Float64() * 100,
+		}
+	}
+	g, err := tgraph.NewGraph(n, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tgraph.NewBuilder(n)
+	var chunked *tgraph.AppendableTCSR
+	for i, ev := range g.Events {
+		if err := b.Add(ev.Src, ev.Dst, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if i == m/3 || i == 2*m/3 {
+			_, chunked = b.Snapshot()
+		}
+	}
+	_, chunked = b.Snapshot()
+
+	targets := []Target{{Node: 0, Time: 90}, {Node: 7, Time: 55}, {Node: 33, Time: 10}, {Node: 12, Time: 101}}
+	for _, policy := range []Policy{MostRecent, Uniform, InverseTimespan} {
+		flatFinders := allFinders(t, flat)
+		chunkFinders := allFinders(t, chunked)
+		for k := range flatFinders {
+			var fo, co Result
+			if err := flatFinders[k].Sample(targets, 6, policy, &fo); err != nil {
+				t.Fatal(err)
+			}
+			if err := chunkFinders[k].Sample(targets, 6, policy, &co); err != nil {
+				t.Fatal(err)
+			}
+			for s := range fo.Nodes {
+				if fo.Nodes[s] != co.Nodes[s] || fo.Times[s] != co.Times[s] || fo.Eids[s] != co.Eids[s] {
+					t.Fatalf("%s/%v slot %d: flat (%d,%v,%d) vs chunked (%d,%v,%d)",
+						flatFinders[k].Name(), policy, s,
+						fo.Nodes[s], fo.Times[s], fo.Eids[s],
+						co.Nodes[s], co.Times[s], co.Eids[s])
+				}
+			}
+			for i := range fo.Counts {
+				if fo.Counts[i] != co.Counts[i] {
+					t.Fatalf("%s/%v count %d differs", flatFinders[k].Name(), policy, i)
+				}
+			}
+		}
 	}
 }

@@ -19,7 +19,7 @@ import (
 // adaptive mini-batches (§III-C): ArbitraryOrder reports false and the
 // training harness refuses the combination.
 type TGLFinder struct {
-	tcsr    *tgraph.TCSR
+	tcsr    tgraph.Adjacency
 	ptr     []int // per-node pivot pointer (monotone until Reset)
 	workers int
 	rngs    []*mathx.RNG // one per worker
@@ -27,7 +27,7 @@ type TGLFinder struct {
 }
 
 // NewTGLFinder builds the finder with one worker per host core.
-func NewTGLFinder(t *tgraph.TCSR, rng *mathx.RNG) *TGLFinder {
+func NewTGLFinder(t tgraph.Adjacency, rng *mathx.RNG) *TGLFinder {
 	workers := runtime.GOMAXPROCS(0)
 	f := &TGLFinder{
 		tcsr:    t,

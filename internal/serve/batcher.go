@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"taser/internal/autograd"
@@ -151,8 +152,8 @@ func (e *Engine) loop() {
 type targetState struct {
 	node      int32
 	t         float64
-	lastTs    float64
-	cacheable bool // t ≥ lastTs and the cache is enabled
+	keyTs     float64 // cache key: the node's last event time, or -Inf for an event-less node
+	cacheable bool    // t ≥ last event time (or no events at all) and the cache is enabled
 	cached    bool
 	emb       []float64
 }
@@ -186,13 +187,21 @@ func (e *Engine) flush(pending []*request) {
 		if i, ok := index[k]; ok {
 			return i
 		}
-		st := &targetState{node: node, t: t, lastTs: snap.LastEventTime(node)}
+		st := &targetState{node: node, t: t}
 		st.emb = make([]float64, d)
 		// Cache only queries at-or-after the node's last event: for those,
 		// N(node, t) equals the neighborhood the cached entry was computed
-		// on, so the entry is exact up to time-encoding drift.
-		st.cacheable = e.cache != nil && t >= st.lastTs
-		if st.cacheable && e.cache.get(node, st.lastTs, st.emb) {
+		// on, so the entry is exact up to time-encoding drift. A node with
+		// no events yet has an empty neighborhood at every t — cacheable
+		// under the -Inf key, which no real last event time (a t=0 one
+		// included) can collide with; its first event flips the key.
+		lastTs, hasLast := snap.LastEventTime(node)
+		st.keyTs = lastTs
+		if !hasLast {
+			st.keyTs = math.Inf(-1)
+		}
+		st.cacheable = e.cache != nil && (!hasLast || t >= lastTs)
+		if st.cacheable && e.cache.get(node, st.keyTs, st.emb) {
 			st.cached = true
 		}
 		index[k] = len(states)
@@ -237,7 +246,7 @@ func (e *Engine) flush(pending []*request) {
 		e.builder.Release(mb)
 		for _, si := range miss {
 			if st := states[si]; st.cacheable {
-				e.cache.put(st.node, st.lastTs, st.emb)
+				e.cache.put(st.node, st.keyTs, st.emb)
 			}
 		}
 		e.batches.Add(1)

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"taser/internal/datasets"
+	"taser/internal/sampler"
+	"taser/internal/tgraph"
+	"taser/internal/train"
+)
+
+// requireSnapshotMatchesRepack asserts that an incrementally published
+// snapshot is bitwise-indistinguishable from a from-scratch NewGraph/BuildTCSR
+// repack of the same events: adjacency, LastEventTime, and edge features.
+func requireSnapshotMatchesRepack(t *testing.T, snap *Snapshot, numNodes int, feats [][]float64) {
+	t.Helper()
+	events := append([]tgraph.Event(nil), snap.Graph.Events...)
+	g, err := tgraph.NewGraph(numNodes, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tgraph.BuildTCSR(g)
+	if d := tgraph.AdjacencyDiff(snap.TCSR, want); d != "" {
+		t.Fatalf("snapshot adjacency differs from repack: %s", d)
+	}
+	for v := int32(0); int(v) < numNodes; v++ {
+		// LastEventTime through the snapshot equals the repack's last entry,
+		// with event-less nodes reported as such rather than as t=0.
+		_, wt, _ := want.Adj(v)
+		got, ok := snap.LastEventTime(v)
+		if ok != (len(wt) > 0) {
+			t.Fatalf("node %d LastEventTime ok=%v, repack degree %d", v, ok, len(wt))
+		}
+		if ok && got != wt[len(wt)-1] {
+			t.Fatalf("node %d LastEventTime %v, repack %v", v, got, wt[len(wt)-1])
+		}
+	}
+	if snap.EdgeFeat.Rows != len(events) {
+		t.Fatalf("edge-feature rows %d, events %d", snap.EdgeFeat.Rows, len(events))
+	}
+	for i := 0; i < snap.EdgeFeat.Rows && i < len(feats); i++ {
+		row := snap.EdgeFeat.Row(i)
+		for j, v := range feats[i] {
+			if row[j] != v {
+				t.Fatalf("edge feature [%d][%d] = %v, ingested %v", i, j, row[j], v)
+			}
+		}
+	}
+}
+
+// TestIncrementalSnapshotServesFullRepack is the tentpole -race acceptance
+// test: one writer streams events while a second goroutine forces snapshot
+// publications and reads pinned snapshots' adjacency, and readers serve
+// requests throughout. Every forced snapshot — built incrementally, sharing
+// chunks, the event list and the edge-feature prefix with its predecessors —
+// must be bitwise-identical to a from-scratch NewGraph/BuildTCSR repack of
+// the same events, and the final served predictions must be bitwise-equal to
+// a second engine bootstrapped from scratch with the identical stream.
+func TestIncrementalSnapshotServesFullRepack(t *testing.T) {
+	ds := datasets.GDELT(0.02, 29) // node and edge features exercise both stores
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 12, TimeDim: 6, BatchSize: 32, Seed: 11,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEngine := func() *Engine {
+		e, err := New(Config{
+			Model: tr.Model, Pred: tr.Pred,
+			NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+			Budget: tr.Cfg.N, Policy: sampler.MostRecent,
+			MaxBatch: 8, MaxWait: 200 * time.Microsecond, SnapshotEvery: 48, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return e
+	}
+	e := newEngine()
+
+	events := ds.Graph.Events
+	feats := make([][]float64, len(events))
+	for i := range events {
+		feats[i] = ds.EdgeFeat.Row(i)
+	}
+
+	var wg sync.WaitGroup
+	var mid []*Snapshot // forced publications captured mid-stream
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: event-by-event ingest (the incremental path)
+		defer wg.Done()
+		defer close(done)
+		for i, ev := range events {
+			if err := e.Ingest(ev.Src, ev.Dst, ev.Time, feats[i]); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // publisher: force publications and touch pinned snapshots
+		defer wg.Done()
+		for {
+			snap := e.PublishSnapshot()
+			mid = append(mid, snap)
+			for v := int32(0); int(v) < ds.Spec.NumNodes; v += 7 {
+				_, ts, _ := snap.TCSR.Adj(v) // concurrent reads of shared chunks
+				_, _ = snap.LastEventTime(v)
+				_ = ts
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // reader: serve against whatever snapshot is current
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v := int32(i % ds.Spec.NumNodes)
+			if _, err := e.Embed(v, 1e12); err != nil {
+				t.Errorf("embed: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every mid-stream publication and the final one must equal its prefix's
+	// full repack bitwise.
+	final := e.PublishSnapshot()
+	for _, snap := range append(mid, final) {
+		requireSnapshotMatchesRepack(t, snap, ds.Spec.NumNodes, feats)
+	}
+	if final.NumEvents() != len(events) {
+		t.Fatalf("final snapshot has %d events, want %d", final.NumEvents(), len(events))
+	}
+
+	// Served predictions: bitwise-equal to a from-scratch engine bootstrapped
+	// with the identical stream in one shot.
+	ref := newEngine()
+	if err := ref.Bootstrap(events, ds.EdgeFeat); err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := e.Watermark()
+	qt := wm + 1
+	for i := 0; i < 25; i++ {
+		ev := events[(i*37)%len(events)]
+		got, err := e.PredictLink(ev.Src, ev.Dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.PredictLink(ev.Src, ev.Dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("prediction %d (%d→%d): incremental %v, from-scratch %v",
+				i, ev.Src, ev.Dst, got.Score, want.Score)
+		}
+	}
+}

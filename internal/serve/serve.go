@@ -67,6 +67,7 @@ type Config struct {
 	MaxWait       time.Duration // max time the first request of a batch waits (default 2ms)
 	CacheSize     int           // embedding-cache capacity in nodes (0 disables)
 	SnapshotEvery int           // publish a snapshot every k ingested events (default 256)
+	LatencyWindow int           // request latencies retained for the P50/P99 stats (default 4096)
 
 	Seed uint64
 	Xfer *device.XferStats // optional transfer accounting shared with offline runs
@@ -95,34 +96,49 @@ func (c Config) normalize() (Config, error) {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 256
 	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 4096
+	}
 	return c, nil
 }
 
 // Snapshot is one immutable published view of the stream: a packed graph,
-// its T-CSR, and the edge features aligned with its event ids. All fields
-// are read-only after publication; any number of readers may share one.
+// its adjacency, and the edge features aligned with its event ids. All
+// fields are read-only after publication; any number of readers may share
+// one.
+//
+// Publication is incremental: Graph.Events, the TCSR adjacency (a chunked
+// tgraph.AppendableTCSR) and EdgeFeat.Data are immutable prefix views into
+// the engine's append-only ingest buffers, shared structurally with earlier
+// snapshots rather than copied — publishing costs O(delta since the last
+// publish), not O(events). Readers cannot tell: the adjacency-access
+// contract (tgraph.Adjacency) is exactly the one a from-scratch BuildTCSR
+// satisfies, bitwise.
 type Snapshot struct {
-	Version   uint64
-	Graph     *tgraph.Graph
-	TCSR      *tgraph.TCSR
-	EdgeFeat  *tensor.Matrix
-	Watermark float64 // ingest watermark at publication
+	Version      uint64
+	Graph        *tgraph.Graph
+	TCSR         tgraph.Adjacency
+	EdgeFeat     *tensor.Matrix
+	Watermark    float64 // ingest watermark at publication (meaningful iff HasWatermark)
+	HasWatermark bool    // false only for the empty pre-ingest snapshot
 }
 
 // NumEvents reports the snapshot's event count.
 func (s *Snapshot) NumEvents() int { return s.Graph.NumEvents() }
 
 // LastEventTime returns the timestamp of node v's most recent event in the
-// snapshot (0 for a node with no events yet). Together with the node id it is
-// the embedding-cache key: v's temporal neighborhood N(v, t) is identical for
-// every query time t ≥ LastEventTime(v), so one cached embedding serves all
-// of them (up to time-encoding drift; see DESIGN.md).
-func (s *Snapshot) LastEventTime(v int32) float64 {
+// snapshot, and whether v has any events yet — ok false is distinct from a
+// real t=0 last event, exactly like the ingest watermark. Together with the
+// node id it forms the embedding-cache key: v's temporal neighborhood
+// N(v, t) is identical for every query time t ≥ LastEventTime(v) (and empty
+// at every t while ok is false), so one cached embedding serves all of them
+// (up to time-encoding drift; see DESIGN.md).
+func (s *Snapshot) LastEventTime(v int32) (t float64, ok bool) {
 	_, ts, _ := s.TCSR.Adj(v)
 	if len(ts) == 0 {
-		return 0
+		return 0, false
 	}
-	return ts[len(ts)-1]
+	return ts[len(ts)-1], true
 }
 
 // Engine is the online inference engine. All exported methods are safe for
@@ -133,6 +149,9 @@ type Engine struct {
 
 	// Ingest side: the guarded builder plus the growable flat edge-feature
 	// rows (row i belongs to event i, the order Snapshot preserves).
+	// edgeFeat is append-only: published snapshots hold full (len == cap)
+	// prefix views of it, so later appends either land beyond every
+	// published length or relocate the array — never inside a view.
 	ingestMu  sync.Mutex
 	gb        *tgraph.Builder
 	edgeFeat  []float64
@@ -187,7 +206,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.CacheSize > 0 {
 		e.cache = newEmbCache(cfg.CacheSize, cfg.Model.HiddenDim())
 	}
-	e.lat.init(4096)
+	e.lat.init(cfg.LatencyWindow)
 	e.wg.Add(1)
 	go e.loop()
 	return e, nil
@@ -206,25 +225,27 @@ func (e *Engine) Close() {
 // Ingest admits one streaming edge event. Events must arrive at or after the
 // current watermark (LastTime of the underlying builder); stale events are
 // rejected with an error wrapping ErrStaleEvent that reports the watermark,
-// so producers can resynchronize. feat is the event's edge-feature row (nil
-// admits a zero row when the graph carries edge features).
+// so producers can resynchronize. The first event of a fresh engine may
+// carry any timestamp, negative included — there is no watermark yet to be
+// behind. feat is the event's edge-feature row (nil admits a zero row when
+// the graph carries edge features).
 //
 // Ingest holds only the writer lock: concurrent serving requests keep
 // reading their pinned snapshots untouched. Every SnapshotEvery admitted
-// events a new snapshot is published (an O(events) repack, charged to the
-// writer, never to readers).
+// events a new snapshot is published incrementally (O(delta) shared-prefix
+// views, charged to the writer, never to readers).
 func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
 	if e.cfg.EdgeDim > 0 && feat != nil && len(feat) != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), e.cfg.EdgeDim)
 	}
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
-	if wm := e.gb.LastTime(); t < wm {
+	if wm, ok := e.gb.LastTime(); ok && t < wm {
 		return fmt.Errorf("%w: event (%d→%d) at t=%v arrived behind watermark t=%v",
 			ErrStaleEvent, src, dst, t, wm)
 	}
 	if err := e.gb.Add(src, dst, t); err != nil {
-		return fmt.Errorf("serve: ingest rejected (watermark t=%v): %w", e.gb.LastTime(), err)
+		return fmt.Errorf("serve: ingest rejected: %w", err)
 	}
 	e.appendFeatLocked(feat)
 	e.sinceSnap++
@@ -246,7 +267,7 @@ func (e *Engine) Bootstrap(events []tgraph.Event, feats *tensor.Matrix) error {
 	defer e.ingestMu.Unlock()
 	for i, ev := range events {
 		if err := e.gb.Add(ev.Src, ev.Dst, ev.Time); err != nil {
-			return fmt.Errorf("serve: bootstrap event %d (watermark t=%v): %w", i, e.gb.LastTime(), err)
+			return fmt.Errorf("serve: bootstrap event %d: %w", i, err)
 		}
 		var row []float64
 		if feats != nil {
@@ -272,8 +293,10 @@ func (e *Engine) PublishSnapshot() *Snapshot {
 func (e *Engine) Pin() *Snapshot { return e.snap.Load() }
 
 // Watermark reports the ingest watermark (which may be ahead of the latest
-// published snapshot's).
-func (e *Engine) Watermark() float64 {
+// published snapshot's) and whether any event has been ingested. ok is false
+// only before the first event: an engine may legitimately sit at a t=0 or
+// negative watermark.
+func (e *Engine) Watermark() (t float64, ok bool) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	return e.gb.LastTime()
@@ -297,14 +320,21 @@ func (e *Engine) appendFeatLocked(feat []float64) {
 	e.edgeFeat = append(e.edgeFeat, feat...)
 }
 
+// publishLocked publishes the current stream as a new immutable snapshot.
+// Cost is proportional to the delta since the previous publication: the
+// builder's Snapshot shares untouched adjacency chunks and the event list
+// structurally, and the edge-feature matrix is a capped (len == cap) prefix
+// view of the append-only e.edgeFeat — not a copy of NumEvents()×EdgeDim
+// floats. Later appends never write inside a published view.
 func (e *Engine) publishLocked() {
 	g, tcsr := e.gb.Snapshot()
-	ef := tensor.New(g.NumEvents(), e.cfg.EdgeDim)
-	copy(ef.Data, e.edgeFeat)
+	w := g.NumEvents() * e.cfg.EdgeDim
+	ef := tensor.FromSlice(g.NumEvents(), e.cfg.EdgeDim, e.edgeFeat[:w:w])
+	wm, hasWM := e.gb.LastTime()
 	e.version++
 	e.snap.Store(&Snapshot{
 		Version: e.version, Graph: g, TCSR: tcsr, EdgeFeat: ef,
-		Watermark: e.gb.LastTime(),
+		Watermark: wm, HasWatermark: hasWM,
 	})
 	e.sinceSnap = 0
 }

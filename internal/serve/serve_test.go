@@ -137,7 +137,10 @@ func TestIngestWatermarkRejection(t *testing.T) {
 	ds := datasets.Wikipedia(0.02, 3)
 	e, _ := newTestEngine(t, ds, nil)
 
-	wm := e.Watermark()
+	wm, ok := e.Watermark()
+	if !ok {
+		t.Fatal("bootstrapped engine must report a watermark")
+	}
 	err := e.Ingest(1, 2, wm-1, nil)
 	if err == nil {
 		t.Fatal("stale event must be rejected")
@@ -148,7 +151,7 @@ func TestIngestWatermarkRejection(t *testing.T) {
 	if !strings.Contains(err.Error(), "watermark") {
 		t.Fatalf("error must name the watermark: %v", err)
 	}
-	if e.Watermark() != wm {
+	if got, _ := e.Watermark(); got != wm {
 		t.Fatal("rejected event must not advance the watermark")
 	}
 	// At-watermark and ahead-of-watermark events are admitted.
@@ -158,9 +161,120 @@ func TestIngestWatermarkRejection(t *testing.T) {
 	if err := e.Ingest(2, 3, wm+4, nil); err != nil {
 		t.Fatal(err)
 	}
-	if e.Watermark() != wm+4 {
-		t.Fatalf("watermark = %v, want %v", e.Watermark(), wm+4)
+	if got, _ := e.Watermark(); got != wm+4 {
+		t.Fatalf("watermark = %v, want %v", got, wm+4)
 	}
+}
+
+// TestIngestNegativeStartStream is the watermark-initialization regression at
+// the engine level: a fresh (un-bootstrapped) engine must admit a first event
+// before t=0 instead of treating the zero-valued watermark as real, must
+// report no watermark until then, and must enforce chronology afterwards.
+func TestIngestNegativeStartStream(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 23)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 12, TimeDim: 6, BatchSize: 32, Seed: 11,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: tr.Model, Pred: tr.Pred,
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: tr.Cfg.N, Policy: sampler.MostRecent, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	if _, ok := e.Watermark(); ok {
+		t.Fatal("fresh engine must report no watermark")
+	}
+	if st := e.Stats(); st.HasWatermark {
+		t.Fatal("pre-ingest snapshot must report no watermark")
+	}
+	if err := e.Ingest(0, 1, -7.5, nil); err != nil {
+		t.Fatalf("first event at t=-7.5 must be admitted: %v", err)
+	}
+	if wm, ok := e.Watermark(); !ok || wm != -7.5 {
+		t.Fatalf("watermark = %v (ok=%v), want -7.5", wm, ok)
+	}
+	if err := e.Ingest(1, 2, -9, nil); !errors.Is(err, ErrStaleEvent) {
+		t.Fatalf("event behind a negative watermark must be stale: %v", err)
+	}
+	if err := e.Ingest(1, 2, -7.5, nil); err != nil {
+		t.Fatalf("equal negative timestamp must be admitted: %v", err)
+	}
+	snap := e.PublishSnapshot()
+	if !snap.HasWatermark || snap.Watermark != -7.5 {
+		t.Fatalf("published watermark = %v (has=%v), want -7.5", snap.Watermark, snap.HasWatermark)
+	}
+	if st := e.Stats(); !st.HasWatermark || st.Watermark != -7.5 {
+		t.Fatalf("stats watermark = %v (has=%v), want -7.5", st.Watermark, st.HasWatermark)
+	}
+	// The negative-time events are servable.
+	if _, err := e.Embed(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheKeyDistinguishesEmptyFromTimeZero: an embedding cached for a node
+// with no events must stop being served once the node's first event arrives
+// at t=0 — "no events" and "last event at t=0" are different cache keys, the
+// same zero-value distinction the watermark makes.
+func TestCacheKeyDistinguishesEmptyFromTimeZero(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 31)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 12, TimeDim: 6, BatchSize: 32, Seed: 11,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: tr.Model, Pred: tr.Pred,
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: tr.Cfg.N, Policy: sampler.MostRecent, CacheSize: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	const v = int32(4)
+	if _, err := e.Embed(v, 5); err != nil { // cold: caches the empty-neighborhood embedding
+		t.Fatal(err)
+	}
+	warm, err := e.Embed(v, 9) // event-less nodes are cacheable at any query time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second embed of an event-less node must be a cache hit")
+	}
+
+	if err := e.Ingest(v, v+1, 0, nil); err != nil { // first event, at exactly t=0
+		t.Fatal(err)
+	}
+	snap := e.PublishSnapshot()
+	after, err := e.Embed(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("embed after the node's first t=0 event must not be served from the pre-event cache entry")
+	}
+	if after.Version != snap.Version {
+		t.Fatalf("served version %d, want %d", after.Version, snap.Version)
+	}
+	for j := range warm.Embedding {
+		if warm.Embedding[j] != after.Embedding[j] {
+			return // the new edge visibly changed the embedding, as it must
+		}
+	}
+	t.Fatal("embedding unchanged by the node's first event")
 }
 
 // TestCacheInvalidationByIngest: an event touching a node changes its
@@ -216,7 +330,7 @@ func TestConcurrentIngestAndServe(t *testing.T) {
 		c.MaxWait = 200 * time.Microsecond
 	})
 
-	base := e.Watermark()
+	base, _ := e.Watermark()
 	var clock atomic.Int64
 	var ingested, rejected atomic.Int64
 	n := int32(ds.Spec.NumNodes)
@@ -332,7 +446,8 @@ func TestRequestValidation(t *testing.T) {
 	if _, err := e.PredictLink(0, int32(ds.Spec.NumNodes), 10); err == nil {
 		t.Fatal("dst beyond range must be rejected")
 	}
-	if err := e.Ingest(0, 1, e.Watermark()+1, make([]float64, ds.Spec.EdgeDim+3)); err == nil {
+	wm, _ := e.Watermark()
+	if err := e.Ingest(0, 1, wm+1, make([]float64, ds.Spec.EdgeDim+3)); err == nil {
 		t.Fatal("wrong feature width must be rejected")
 	}
 }

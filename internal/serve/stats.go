@@ -54,7 +54,8 @@ type Stats struct {
 	CacheMisses uint64
 
 	SnapshotVersion uint64
-	Watermark       float64 // latest published snapshot's watermark
+	Watermark       float64 // latest published snapshot's watermark (see HasWatermark)
+	HasWatermark    bool    // false until the first event reaches a published snapshot
 	Events          int     // events in the latest published snapshot
 
 	P50, P99 time.Duration // over the recent-latency window
@@ -92,6 +93,7 @@ func (e *Engine) Stats() Stats {
 	if snap := e.snap.Load(); snap != nil {
 		s.SnapshotVersion = snap.Version
 		s.Watermark = snap.Watermark
+		s.HasWatermark = snap.HasWatermark
 		s.Events = snap.NumEvents()
 	}
 	return s

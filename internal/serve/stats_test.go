@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingWrapAround pins the ring semantics: once full, new samples
+// overwrite the oldest, so quantiles cover exactly the last `capacity`
+// samples.
+func TestLatencyRingWrapAround(t *testing.T) {
+	var r latencyRing
+	r.init(4)
+	if got := r.quantile(0.5); got != 0 {
+		t.Fatalf("empty ring quantile = %v, want 0", got)
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		r.add(time.Duration(ms) * time.Millisecond)
+	}
+	if r.n != 4 || len(r.buf) != 4 {
+		t.Fatalf("fill: n=%d len=%d", r.n, len(r.buf))
+	}
+	if got, want := r.quantile(1), 40*time.Millisecond; !near(got, want) {
+		t.Fatalf("max = %v, want %v", got, want)
+	}
+	// Two more samples evict 10ms and 20ms: the window is {30,40,50,60}.
+	r.add(50 * time.Millisecond)
+	r.add(60 * time.Millisecond)
+	if r.n != 6 || len(r.buf) != 4 {
+		t.Fatalf("wrap: n=%d len=%d", r.n, len(r.buf))
+	}
+	if got := r.quantile(0); !near(got, 30*time.Millisecond) {
+		t.Fatalf("min after wrap = %v, want 30ms (oldest samples evicted)", got)
+	}
+	if got := r.quantile(1); !near(got, 60*time.Millisecond) {
+		t.Fatalf("max after wrap = %v, want 60ms", got)
+	}
+	// The median must fall inside the retained window, not the evicted one.
+	if got := r.quantile(0.5); got < 30*time.Millisecond || got > 60*time.Millisecond {
+		t.Fatalf("median %v outside retained window", got)
+	}
+	// Wrap all the way around: only the newest `capacity` samples remain.
+	for i := 0; i < 8; i++ {
+		r.add(time.Duration(100+i) * time.Millisecond)
+	}
+	if got := r.quantile(0); !near(got, 104*time.Millisecond) {
+		t.Fatalf("min after full wrap = %v, want 104ms", got)
+	}
+}
+
+// near tolerates the float64-seconds round trip of the ring's storage.
+func near(got, want time.Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < time.Microsecond
+}

@@ -43,6 +43,27 @@ func NewGraph(numNodes int, events []Event) (*Graph, error) {
 // NumEvents returns the interaction count.
 func (g *Graph) NumEvents() int { return len(g.Events) }
 
+// Adjacency is the read contract every packed temporal-adjacency layout
+// satisfies: the flat TCSR built in one batch pass, and the chunked
+// AppendableTCSR that Builder.Snapshot publishes incrementally. Neighbor
+// finders, serving snapshots and evaluation access packed graphs exclusively
+// through this interface, so they are oblivious to how a snapshot was built —
+// the correctness bar for incremental publication is that both layouts return
+// bitwise-identical slices for the same event stream.
+type Adjacency interface {
+	// NumNodes returns the node count.
+	NumNodes() int
+	// Degree returns the total (lifetime) number of adjacency entries of v.
+	Degree(v int32) int
+	// Adj returns node v's full adjacency as three parallel slices (views),
+	// sorted by timestamp. Callers must not mutate them.
+	Adj(v int32) (nbr []int32, ts []float64, eid []int32)
+	// Pivot returns |N(v, t)| via binary search.
+	Pivot(v int32, tm float64) int
+	// PivotLinear returns |N(v, t)| via a forward linear scan.
+	PivotLinear(v int32, tm float64) int
+}
+
 // TCSR is the temporal CSR layout: for each node, its incident events
 // (both directions of every interaction) sorted by timestamp.
 type TCSR struct {
@@ -50,6 +71,34 @@ type TCSR struct {
 	Nbr    []int32   // neighbor node id per entry
 	Ts     []float64 // event timestamp per entry
 	Eid    []int32   // originating event index (edge-feature row) per entry
+}
+
+var _ Adjacency = (*TCSR)(nil)
+
+// searchPivot counts the entries of ts with timestamp strictly before tm by
+// binary search — the per-block step of the GPU neighbor finder (Algorithm 2,
+// line 5). Shared by every Adjacency implementation.
+func searchPivot(ts []float64, tm float64) int {
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts[mid] < tm {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// scanPivot counts the entries of ts before tm by forward linear scan — the
+// access pattern of the original Python neighbor finder in TGAT.
+func scanPivot(ts []float64, tm float64) int {
+	p := 0
+	for p < len(ts) && ts[p] < tm {
+		p++
+	}
+	return p
 }
 
 // BuildTCSR constructs the T-CSR from a graph. Every event (u, v, t)
@@ -109,27 +158,14 @@ func (t *TCSR) Adj(v int32) (nbr []int32, ts []float64, eid []int32) {
 // access pattern of the original Python neighbor finder in TGAT.
 func (t *TCSR) PivotLinear(v int32, tm float64) int {
 	_, ts, _ := t.Adj(v)
-	p := 0
-	for p < len(ts) && ts[p] < tm {
-		p++
-	}
-	return p
+	return scanPivot(ts, tm)
 }
 
 // Pivot returns |N(v, t)| via binary search — the per-block step of the GPU
 // neighbor finder (Algorithm 2, line 5).
 func (t *TCSR) Pivot(v int32, tm float64) int {
 	_, ts, _ := t.Adj(v)
-	lo, hi := 0, len(ts)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if ts[mid] < tm {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return searchPivot(ts, tm)
 }
 
 // Neighborhood materializes N(v, t) (copies). Intended for tests and small

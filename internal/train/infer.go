@@ -13,9 +13,11 @@ import (
 	"taser/internal/tgraph"
 )
 
-// InferConfig binds an InferenceBuilder to a graph and a model shape.
+// InferConfig binds an InferenceBuilder to a graph and a model shape. TCSR
+// accepts any packed adjacency layout — the dataset's flat T-CSR or the
+// chunked AppendableTCSR an online ingest path publishes incrementally.
 type InferConfig struct {
-	TCSR     *tgraph.TCSR
+	TCSR     tgraph.Adjacency
 	NodeFeat *tensor.Matrix // static node features (nil or zero-width when absent)
 	EdgeFeat *tensor.Matrix // per-event edge features, rows aligned with event ids
 
@@ -86,7 +88,7 @@ func NewInferenceBuilder(cfg InferConfig) (*InferenceBuilder, error) {
 // newFinder constructs a finder of the configured kind over tcsr. The GPU
 // finder reuses the builder's device (and so its persistent worker pool)
 // across snapshot swaps instead of spinning up a pool per snapshot.
-func (b *InferenceBuilder) newFinder(tcsr *tgraph.TCSR) (sampler.Finder, error) {
+func (b *InferenceBuilder) newFinder(tcsr tgraph.Adjacency) (sampler.Finder, error) {
 	switch b.cfg.Finder {
 	case FinderOrigin:
 		return sampler.NewOriginFinder(tcsr, mathx.NewRNG(b.cfg.Seed)), nil
@@ -106,8 +108,10 @@ func (b *InferenceBuilder) newFinder(tcsr *tgraph.TCSR) (sampler.Finder, error) 
 // snapshot's event ids). The node store and the buffer pool are retained.
 // The finder is reseeded from the configured seed, so randomized policies
 // restart their stream per snapshot; the serving default (MostRecent) draws
-// no randomness and is unaffected.
-func (b *InferenceBuilder) SwapGraph(tcsr *tgraph.TCSR, edgeFeat *tensor.Matrix) error {
+// no randomness and is unaffected. tcsr may be any packed layout; with
+// incremental snapshots (tgraph.AppendableTCSR) the swap cost is independent
+// of the stream length.
+func (b *InferenceBuilder) SwapGraph(tcsr tgraph.Adjacency, edgeFeat *tensor.Matrix) error {
 	if edgeFeat == nil {
 		edgeFeat = tensor.New(0, b.edgeDim)
 	}
