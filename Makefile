@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest vet serve loadtest
+.PHONY: all build test bench bench-full bench-ingest bench-alloc vet serve loadtest
 
 all: build test
 
@@ -44,3 +44,8 @@ loadtest:
 # O(events) repack, across stream lengths (see EXPERIMENTS.md).
 bench-ingest:
 	$(GO) run ./cmd/taser-bench -exp ingest
+
+# Arena-backed execution: allocs/step and allocs/request before/after warmup
+# for the training step and micro-batched serving (see DESIGN.md §7).
+bench-alloc:
+	$(GO) run ./cmd/taser-bench -exp alloc

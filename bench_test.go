@@ -128,6 +128,12 @@ func benchmarkTrainStep(b *testing.B, cfg train.Config) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Steady state is the quantity of interest: a few warmup steps fill the
+	// buffer pools, the autograd tape and the arena shape classes so allocs/op
+	// reports the recycled path, not the one-time warmup.
+	for i := 0; i < 5; i++ {
+		tr.TrainStep()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -148,6 +154,11 @@ func benchmarkTrainStepPipelined(b *testing.B, cfg train.Config) {
 	}
 	p := tr.NewPipeline(0)
 	b.Cleanup(p.Close)
+	for i := 0; i < 5; i++ { // steady state, as in benchmarkTrainStep
+		if _, ok := p.Step(); !ok {
+			b.Fatal("pipeline exhausted during warmup")
+		}
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -82,10 +82,11 @@ func main() {
 		"pipeline":            bench.Pipeline,
 		"serve":               bench.Serve,
 		"ingest":              bench.Ingest,
+		"alloc":               bench.Alloc,
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve", "ingest"}
+		"pipeline", "serve", "ingest", "alloc"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -27,7 +27,7 @@ import (
 // The returned scalar is Σ c_bp · log q_θ(u_bp); minimizing it moves θ along
 // the REINFORCE estimate of ∇_θ L_model.
 func (s *NeighborSampler) SampleLoss(g *autograd.Graph, info *models.CoTrainInfo, sel *Selection, c *CandidateSet) *autograd.Var {
-	coef := tensor.New(c.B, c.M)
+	coef := g.Scratch(c.B, c.M) // graph-lifetime: the tape borrows it until Reset
 	n := info.Budget
 	d := info.Out.Cols()
 	switch {

@@ -3,6 +3,7 @@ package adaptive
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"taser/internal/autograd"
 	"taser/internal/encoding"
@@ -89,6 +90,15 @@ type NeighborSampler struct {
 	rng *mathx.RNG
 	ws  mathx.WeightedSampler // per-root draw scratch (Select is serialized)
 	wts []float64             // per-root weight scratch
+
+	parts, tparts []*autograd.Var // encode/encodeTarget part-list scratch
+	freqs         []int           // frequency-encoder scratch
+
+	// selFree recycles Selection headers (with their Chosen/Probs backing
+	// storage) between Select and Recycle; a mutex because release may happen
+	// on a different goroutine than the next Select (pipeline shutdown).
+	selMu   sync.Mutex
+	selFree []*Selection
 }
 
 // NewSampler builds the sampler with all encoder components enabled.
@@ -189,56 +199,63 @@ func (s *NeighborSampler) Params() []*autograd.Var {
 }
 
 // encode builds the neighbor embeddings z_(u,t) (Eq. 15) for a candidate set.
+// Encoder feature tables (TE/FE/IE) are graph-lifetime arena scratch; the
+// part list reuses the sampler's own slice (Select calls are serialized).
 func (s *NeighborSampler) encode(g *autograd.Graph, c *CandidateSet) *autograd.Var {
-	var parts []*autograd.Var
+	parts := s.parts[:0]
 	if s.nodeProj != nil {
-		parts = append(parts, g.GELU(s.nodeProj.Apply(g, autograd.NewConst(c.NodeFeat))))
+		parts = append(parts, g.GELU(s.nodeProj.Apply(g, g.Const(c.NodeFeat))))
 	}
 	if s.edgeProj != nil {
-		parts = append(parts, g.GELU(s.edgeProj.Apply(g, autograd.NewConst(c.EdgeFeat))))
+		parts = append(parts, g.GELU(s.edgeProj.Apply(g, g.Const(c.EdgeFeat))))
 	}
 	rows := c.B * c.M
 	if s.cfg.UseTE {
-		te := tensor.New(rows, s.cfg.TimeDim)
+		te := g.Scratch(rows, s.cfg.TimeDim)
 		for i := 0; i < rows; i++ {
 			s.timeEnc.Encode(te.Row(i), c.DeltaT[i])
 		}
-		parts = append(parts, autograd.NewConst(te))
+		parts = append(parts, g.Const(te))
 	}
 	if s.cfg.UseFE {
-		fe := tensor.New(rows, s.cfg.FreqDim)
-		freqs := make([]int, c.M)
+		fe := g.Scratch(rows, s.cfg.FreqDim)
+		if cap(s.freqs) < c.M {
+			s.freqs = make([]int, c.M)
+		}
+		freqs := s.freqs[:c.M]
 		for b := 0; b < c.B; b++ {
 			encoding.Frequencies(c.Nodes[b*c.M:(b+1)*c.M], freqs)
 			for j, f := range freqs {
 				s.freqEnc.Encode(fe.Row(b*c.M+j), f)
 			}
 		}
-		parts = append(parts, autograd.NewConst(fe))
+		parts = append(parts, g.Const(fe))
 	}
 	if s.cfg.UseIE {
-		ie := tensor.New(rows, c.M)
+		ie := g.Scratch(rows, c.M)
 		for b := 0; b < c.B; b++ {
 			encoding.Identity(c.Nodes[b*c.M:(b+1)*c.M], ie.Data[b*c.M*c.M:(b+1)*c.M*c.M], c.M)
 		}
-		parts = append(parts, autograd.NewConst(ie))
+		parts = append(parts, g.Const(ie))
 	}
+	s.parts = parts[:0]
 	return g.ConcatCols(parts...)
 }
 
 // encodeTarget builds z_v = {h(v) ‖ TE(0) ‖ FE(1)} (Eq. 21).
 func (s *NeighborSampler) encodeTarget(g *autograd.Graph, c *CandidateSet) *autograd.Var {
-	var parts []*autograd.Var
+	parts := s.tparts[:0]
 	if s.nodeProj != nil {
-		parts = append(parts, g.GELU(s.nodeProj.Apply(g, autograd.NewConst(c.TargetFeat))))
+		parts = append(parts, g.GELU(s.nodeProj.Apply(g, g.Const(c.TargetFeat))))
 	}
-	te := tensor.New(c.B, s.cfg.TimeDim)
-	fe := tensor.New(c.B, s.cfg.FreqDim)
+	te := g.Scratch(c.B, s.cfg.TimeDim)
+	fe := g.Scratch(c.B, s.cfg.FreqDim)
 	for i := 0; i < c.B; i++ {
 		s.timeEnc.Encode(te.Row(i), 0)
 		s.freqEnc.Encode(fe.Row(i), 1)
 	}
-	parts = append(parts, autograd.NewConst(te), autograd.NewConst(fe))
+	parts = append(parts, g.Const(te), g.Const(fe))
+	s.tparts = parts[:0]
 	return g.ConcatCols(parts...)
 }
 
@@ -249,7 +266,7 @@ func (s *NeighborSampler) Scores(g *autograd.Graph, c *CandidateSet) *autograd.V
 		panic(fmt.Sprintf("adaptive: candidate set has m=%d, sampler built for m=%d", c.M, s.cfg.M))
 	}
 	z := s.encode(g, c)
-	z = g.MulColVec(z, maskCol(c)) // zero padding tokens before mixing
+	z = g.MulColVec(z, maskCol(g, c)) // zero padding tokens before mixing
 	z = s.mixer.Apply(g, z)        // Z_Ns(v) (Eq. 16)
 
 	var scores *autograd.Var
@@ -270,11 +287,11 @@ func (s *NeighborSampler) Scores(g *autograd.Graph, c *CandidateSet) *autograd.V
 		k := s.transK.Apply(g, z)
 		scores = g.Scale(g.GroupedScore(q, k, c.M), 1/math.Sqrt(float64(c.M)))
 	}
-	return g.Add(scores, autograd.NewConst(c.MaskBias))
+	return g.Add(scores, g.Const(c.MaskBias))
 }
 
-func maskCol(c *CandidateSet) *tensor.Matrix {
-	col := tensor.New(c.B*c.M, 1)
+func maskCol(g *autograd.Graph, c *CandidateSet) *tensor.Matrix {
+	col := g.Scratch(c.B*c.M, 1)
 	copy(col.Data, c.Mask.Data)
 	return col
 }
@@ -291,16 +308,55 @@ type Selection struct {
 	Probs *tensor.Matrix
 }
 
+// getSelection checks a Selection out of the free list (or allocates one),
+// shaped for b roots with m candidates. Per-root Chosen slices keep their
+// capacity across recycles, so warm draws are allocation-free.
+func (s *NeighborSampler) getSelection(b, m int) *Selection {
+	s.selMu.Lock()
+	var sel *Selection
+	if n := len(s.selFree); n > 0 {
+		sel = s.selFree[n-1]
+		s.selFree[n-1] = nil
+		s.selFree = s.selFree[:n-1]
+	}
+	s.selMu.Unlock()
+	if sel == nil {
+		return &Selection{Chosen: make([][]int, b), Probs: tensor.New(b, m)}
+	}
+	if cap(sel.Chosen) < b {
+		chosen := make([][]int, b)
+		copy(chosen, sel.Chosen[:cap(sel.Chosen)])
+		sel.Chosen = chosen
+	} else {
+		sel.Chosen = sel.Chosen[:b]
+	}
+	sel.Probs.Resize(b, m)
+	return sel
+}
+
+// Recycle returns a Selection obtained from Select to the sampler's free
+// list. The caller must be done with it (and with the graph pass that
+// produced LogQ); the training loop recycles at batch release.
+func (s *NeighborSampler) Recycle(sel *Selection) {
+	if sel == nil {
+		return
+	}
+	sel.LogQ = nil // graph-owned; dead at the producing graph's Reset
+	s.selMu.Lock()
+	s.selFree = append(s.selFree, sel)
+	s.selMu.Unlock()
+}
+
 // Select draws n supporting neighbors per root without replacement from
-// q_θ(·|v) = softmax(scores) (Algorithm 1 line 6).
+// q_θ(·|v) = softmax(scores) (Algorithm 1 line 6). The returned Selection is
+// pooled: hand it back with Recycle when the batch that produced it is
+// released (callers that never Recycle simply fall back to fresh
+// allocations).
 func (s *NeighborSampler) Select(g *autograd.Graph, c *CandidateSet, n int) *Selection {
 	scores := s.Scores(g, c)
 	logq := g.LogSoftmaxRows(scores)
-	sel := &Selection{
-		Chosen: make([][]int, c.B),
-		LogQ:   logq,
-		Probs:  tensor.New(c.B, c.M),
-	}
+	sel := s.getSelection(c.B, c.M)
+	sel.LogQ = logq
 	if cap(s.wts) < c.M {
 		s.wts = make([]float64, c.M)
 	}
@@ -314,11 +370,11 @@ func (s *NeighborSampler) Select(g *autograd.Graph, c *CandidateSet, n int) *Sel
 		}
 		valid := c.ValidCount(b)
 		if valid == 0 {
-			sel.Chosen[b] = nil
+			sel.Chosen[b] = sel.Chosen[b][:0]
 			continue
 		}
 		k := mathx.MinInt(n, valid)
-		sel.Chosen[b] = s.ws.SampleInto(s.rng, weights, k, nil)
+		sel.Chosen[b] = s.ws.SampleInto(s.rng, weights, k, sel.Chosen[b])
 	}
 	return sel
 }

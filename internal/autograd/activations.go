@@ -14,11 +14,7 @@ func (g *Graph) Sigmoid(a *Var) *Var {
 		o.Val.Data[i] = mathx.Sigmoid(v)
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, s := range o.Val.Data {
-				a.Grad.Data[i] += o.Grad.Data[i] * s * (1 - s)
-			}
-		})
+		g.push(tapeEntry{op: opSigmoid, out: o, a: a})
 	}
 	return o
 }
@@ -30,11 +26,7 @@ func (g *Graph) Tanh(a *Var) *Var {
 		o.Val.Data[i] = math.Tanh(v)
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, t := range o.Val.Data {
-				a.Grad.Data[i] += o.Grad.Data[i] * (1 - t*t)
-			}
-		})
+		g.push(tapeEntry{op: opTanh, out: o, a: a})
 	}
 	return o
 }
@@ -48,13 +40,7 @@ func (g *Graph) ReLU(a *Var) *Var {
 		}
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, v := range a.Val.Data {
-				if v > 0 {
-					a.Grad.Data[i] += o.Grad.Data[i]
-				}
-			}
-		})
+		g.push(tapeEntry{op: opReLU, out: o, a: a})
 	}
 	return o
 }
@@ -66,15 +52,7 @@ func (g *Graph) LeakyReLU(a *Var, slope float64) *Var {
 		o.Val.Data[i] = mathx.LeakyReLU(v, slope)
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, v := range a.Val.Data {
-				d := o.Grad.Data[i]
-				if v < 0 {
-					d *= slope
-				}
-				a.Grad.Data[i] += d
-			}
-		})
+		g.push(tapeEntry{op: opLeakyReLU, out: o, a: a, scalar: slope})
 	}
 	return o
 }
@@ -87,30 +65,23 @@ const geluParallelThreshold = 1 << 14
 // GELU applies the Gaussian error linear unit element-wise.
 func (g *Graph) GELU(a *Var) *Var {
 	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
-	forEachChunk(len(a.Val.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	// The serial path is written out (not a conditionally-spawned closure) so
+	// small activations allocate nothing.
+	if n := len(a.Val.Data); n < geluParallelThreshold {
+		for i := 0; i < n; i++ {
 			o.Val.Data[i] = mathx.GELU(a.Val.Data[i])
 		}
-	})
-	if o.NeedsGrad() {
-		g.push(func() {
-			forEachChunk(len(a.Val.Data), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					a.Grad.Data[i] += o.Grad.Data[i] * mathx.GELUGrad(a.Val.Data[i])
-				}
-			})
+	} else {
+		tensor.ParallelRows(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				o.Val.Data[i] = mathx.GELU(a.Val.Data[i])
+			}
 		})
 	}
-	return o
-}
-
-// forEachChunk runs body over [0, n) in parallel chunks when n is large.
-func forEachChunk(n int, body func(lo, hi int)) {
-	if n < geluParallelThreshold {
-		body(0, n)
-		return
+	if o.NeedsGrad() {
+		g.push(tapeEntry{op: opGELU, out: o, a: a})
 	}
-	tensor.ParallelRows(n, body)
+	return o
 }
 
 // Cos applies cos element-wise; used by the learnable time encoding (Eq. 3).
@@ -120,11 +91,7 @@ func (g *Graph) Cos(a *Var) *Var {
 		o.Val.Data[i] = math.Cos(v)
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, v := range a.Val.Data {
-				a.Grad.Data[i] -= o.Grad.Data[i] * math.Sin(v)
-			}
-		})
+		g.push(tapeEntry{op: opCos, out: o, a: a})
 	}
 	return o
 }
@@ -134,21 +101,7 @@ func (g *Graph) SoftmaxRows(a *Var) *Var {
 	o := g.out(a.Rows(), a.Cols(), a.NeedsGrad())
 	tensor.SoftmaxRowsInto(o.Val, a.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			// dx_j = s_j (dy_j - Σ_k dy_k s_k)
-			for i := 0; i < a.Rows(); i++ {
-				s := o.Val.Row(i)
-				dy := o.Grad.Row(i)
-				var dot float64
-				for k, sv := range s {
-					dot += dy[k] * sv
-				}
-				dx := a.Grad.Row(i)
-				for j, sv := range s {
-					dx[j] += sv * (dy[j] - dot)
-				}
-			}
-		})
+		g.push(tapeEntry{op: opSoftmaxRows, out: o, a: a})
 	}
 	return o
 }
@@ -166,21 +119,7 @@ func (g *Graph) LogSoftmaxRows(a *Var) *Var {
 		}
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			// dx_j = dy_j - softmax_j Σ_k dy_k
-			for i := 0; i < a.Rows(); i++ {
-				dy := o.Grad.Row(i)
-				var sum float64
-				for _, v := range dy {
-					sum += v
-				}
-				logp := o.Val.Row(i)
-				dx := a.Grad.Row(i)
-				for j, lp := range logp {
-					dx[j] += dy[j] - math.Exp(lp)*sum
-				}
-			}
-		})
+		g.push(tapeEntry{op: opLogSoftmaxRows, out: o, a: a})
 	}
 	return o
 }

@@ -8,6 +8,17 @@
 // persist until the optimizer zeroes them. Intermediate Vars are created by
 // the Graph's operator methods and live only as long as the graph.
 //
+// Graphs are reusable: Reset truncates the tape and recycles every
+// intermediate, so one Graph can serve an unbounded stream of
+// forward–backward passes with O(1) amortized heap allocations. The tape is a
+// slice of value-typed entries dispatched by opcode (not per-op closures, so
+// recording allocates nothing once the slice is warm), and a Graph built with
+// NewWithArena draws every intermediate Val/Grad — plus caller scratch via
+// Scratch and Ints — from an attached tensor.Arena that Reset returns in one
+// stroke. The ownership contract is DESIGN.md §7: everything produced by a
+// graph op or Scratch call dies at Reset; copy out anything that must
+// survive.
+//
 // Beyond the usual dense primitives, the package provides the fused grouped
 // operations TASER's models need: per-neighborhood attention scoring and
 // combination (TGAT, Eq. 7) and shared-weight token mixing over fixed-size
@@ -28,12 +39,16 @@ type Var struct {
 	Grad *tensor.Matrix
 }
 
-// NewParam wraps m as a trainable parameter (gradient allocated).
+// NewParam wraps m as a trainable parameter (gradient allocated). Parameters
+// are heap-allocated and never recycled by Graph.Reset — they outlive every
+// graph that records them.
 func NewParam(m *tensor.Matrix) *Var {
 	return &Var{Val: m, Grad: tensor.New(m.Rows, m.Cols)}
 }
 
-// NewConst wraps m as a constant (no gradient is ever accumulated).
+// NewConst wraps m as a constant (no gradient is ever accumulated). For
+// constants created inside a step's forward pass, prefer Graph.Const, which
+// recycles the Var header across Resets.
 func NewConst(m *tensor.Matrix) *Var {
 	return &Var{Val: m}
 }
@@ -45,27 +60,144 @@ func (v *Var) NeedsGrad() bool { return v != nil && v.Grad != nil }
 func (v *Var) Rows() int { return v.Val.Rows }
 func (v *Var) Cols() int { return v.Val.Cols }
 
-// Graph records a single forward pass.
+// varChunkSize is the Var-header slab granularity.
+const varChunkSize = 128
+
+// intChunkSize is the minimum Ints slab length.
+const intChunkSize = 4096
+
+// Graph records forward passes. The zero of reuse: after Reset the same Graph
+// replays the same op sequence without touching the heap (arena-backed
+// matrices, recycled Var headers, a truncated-in-place tape).
 type Graph struct {
-	tape []func()
+	tape  []tapeEntry
+	arena *tensor.Arena
+
+	// Var headers are handed out sequentially from fixed-size chunks and
+	// rewound (not freed) on Reset.
+	varChunks [][]Var
+	nvars     int
+
+	// varRefs backs the input lists of variadic ops (ConcatCols): tape
+	// entries reference sub-slices of it by offset.
+	varRefs []*Var
+
+	// ints backs Ints: chunked so earlier checkouts stay valid while later
+	// ones grow the slab list. Rewound on Reset.
+	ints    [][]int32
+	intCur  int
+	intOff  int
+
+	// matScratch is transient per-call space for kernels taking []*Matrix.
+	matScratch []*tensor.Matrix
 }
 
-// New returns an empty graph.
+// New returns an empty graph without an arena: the tape and Var headers are
+// still reusable via Reset, but intermediate matrices come from the heap.
+// This is the right constructor for one-shot graphs (tests, external tools).
 func New() *Graph { return &Graph{} }
+
+// NewWithArena returns an empty graph whose intermediates (op outputs,
+// gradients, Scratch matrices) are checked out of arena; Reset both rewinds
+// the tape and resets the arena. The arena must not be shared with another
+// concurrently used graph.
+func NewWithArena(arena *tensor.Arena) *Graph { return &Graph{arena: arena} }
+
+// NewReusable is NewWithArena over a fresh private arena — the standard
+// per-execution-context graph (one per training step stream, one per serving
+// scheduler).
+func NewReusable() *Graph { return NewWithArena(tensor.NewArena()) }
+
+// Arena exposes the attached arena (nil for New graphs); tests use it to
+// enable poison debugging and inspect checkout counts.
+func (g *Graph) Arena() *tensor.Arena { return g.arena }
+
+// Reset ends the current pass: the tape is truncated in place, Var headers
+// and Ints slabs rewind, and every arena checkout (op outputs, gradients,
+// Scratch matrices) is recycled. All Vars, matrices and slices obtained from
+// this graph since the previous Reset are dead — anything that must survive
+// a step has to be copied out first.
+func (g *Graph) Reset() {
+	clear(g.tape) // drop caller-owned references (idx, labels, coefs)
+	g.tape = g.tape[:0]
+	clear(g.varRefs)
+	g.varRefs = g.varRefs[:0]
+	g.nvars = 0
+	g.intCur, g.intOff = 0, 0
+	if g.arena != nil {
+		g.arena.Reset()
+	}
+}
 
 // Ops reports the number of recorded backward steps (for tests/metrics).
 func (g *Graph) Ops() int { return len(g.tape) }
 
-func (g *Graph) push(backward func()) { g.tape = append(g.tape, backward) }
+func (g *Graph) push(e tapeEntry) { g.tape = append(g.tape, e) }
+
+// newVar hands out a Var header from the chunk pool.
+func (g *Graph) newVar(val, grad *tensor.Matrix) *Var {
+	ci, off := g.nvars/varChunkSize, g.nvars%varChunkSize
+	if ci == len(g.varChunks) {
+		g.varChunks = append(g.varChunks, make([]Var, varChunkSize))
+	}
+	v := &g.varChunks[ci][off]
+	v.Val, v.Grad = val, grad
+	g.nvars++
+	return v
+}
+
+// alloc returns a zeroed r×c matrix from the arena (or the heap without one).
+func (g *Graph) alloc(r, c int) *tensor.Matrix {
+	if g.arena != nil {
+		return g.arena.Get(r, c)
+	}
+	return tensor.New(r, c)
+}
 
 // out allocates a result Var; it carries a gradient buffer iff any input
 // requires gradients.
 func (g *Graph) out(rows, cols int, needsGrad bool) *Var {
-	v := &Var{Val: tensor.New(rows, cols)}
+	var grad *tensor.Matrix
 	if needsGrad {
-		v.Grad = tensor.New(rows, cols)
+		grad = g.alloc(rows, cols)
 	}
-	return v
+	return g.newVar(g.alloc(rows, cols), grad)
+}
+
+// Const wraps m as a constant whose Var header is recycled on Reset — the
+// graph-lifetime counterpart of NewConst for matrices threaded into a forward
+// pass (sliced features, masks, time columns). m itself is borrowed, never
+// owned: Reset does not touch it.
+func (g *Graph) Const(m *tensor.Matrix) *Var { return g.newVar(m, nil) }
+
+// Scratch checks out a zeroed r×c matrix with graph lifetime that is NOT a
+// tape node: callers fill it (time encodings, coefficient tables, mask
+// columns) and typically wrap it with Const or pass it to a *Const op. It is
+// recycled at Reset like every other intermediate.
+func (g *Graph) Scratch(r, c int) *tensor.Matrix { return g.alloc(r, c) }
+
+// Ints checks out an int32 slice of length n with graph lifetime (gather
+// index vectors live as long as the tape that references them). Contents are
+// unspecified — callers must fully overwrite. Recycled at Reset.
+func (g *Graph) Ints(n int) []int32 {
+	for {
+		if g.intCur < len(g.ints) {
+			chunk := g.ints[g.intCur]
+			if g.intOff+n <= len(chunk) {
+				s := chunk[g.intOff : g.intOff+n : g.intOff+n]
+				g.intOff += n
+				return s
+			}
+			g.intCur++
+			g.intOff = 0
+			continue
+		}
+		size := intChunkSize
+		if n > size {
+			size = n
+		}
+		g.ints = append(g.ints, make([]int32, size))
+	}
 }
 
 // Backward seeds d(loss)/d(loss)=1 and replays the tape in reverse. loss must
@@ -79,28 +211,21 @@ func (g *Graph) Backward(loss *Var) {
 	}
 	loss.Grad.Data[0] = 1
 	for i := len(g.tape) - 1; i >= 0; i-- {
-		g.tape[i]()
+		g.backstep(&g.tape[i])
 	}
 }
 
 // --- dense primitives ---
+// Each op computes its result eagerly and, when the output carries gradient,
+// records one value-typed tape entry; the matching backward body lives in
+// backstep (tape.go).
 
 // MatMul returns a @ b.
 func (g *Graph) MatMul(a, b *Var) *Var {
 	o := g.out(a.Rows(), b.Cols(), a.NeedsGrad() || b.NeedsGrad())
 	tensor.MatMulInto(o.Val, a.Val, b.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			if a.NeedsGrad() {
-				// dA += dO @ Bᵀ
-				tmp := tensor.MatMulTransB(o.Grad, b.Val)
-				a.Grad.AddInPlace(tmp)
-			}
-			if b.NeedsGrad() {
-				// dB += Aᵀ @ dO
-				tensor.MatMulTransAInto(b.Grad, a.Val, o.Grad)
-			}
-		})
+		g.push(tapeEntry{op: opMatMul, out: o, a: a, b: b})
 	}
 	return o
 }
@@ -111,14 +236,7 @@ func (g *Graph) Add(a, b *Var) *Var {
 	copy(o.Val.Data, a.Val.Data)
 	o.Val.AddInPlace(b.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			if a.NeedsGrad() {
-				a.Grad.AddInPlace(o.Grad)
-			}
-			if b.NeedsGrad() {
-				b.Grad.AddInPlace(o.Grad)
-			}
-		})
+		g.push(tapeEntry{op: opAdd, out: o, a: a, b: b})
 	}
 	return o
 }
@@ -129,14 +247,7 @@ func (g *Graph) Sub(a, b *Var) *Var {
 	copy(o.Val.Data, a.Val.Data)
 	o.Val.SubInPlace(b.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			if a.NeedsGrad() {
-				a.Grad.AddInPlace(o.Grad)
-			}
-			if b.NeedsGrad() {
-				b.Grad.SubInPlace(o.Grad)
-			}
-		})
+		g.push(tapeEntry{op: opSub, out: o, a: a, b: b})
 	}
 	return o
 }
@@ -147,18 +258,7 @@ func (g *Graph) Mul(a, b *Var) *Var {
 	copy(o.Val.Data, a.Val.Data)
 	o.Val.MulInPlace(b.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			if a.NeedsGrad() {
-				for i, gv := range o.Grad.Data {
-					a.Grad.Data[i] += gv * b.Val.Data[i]
-				}
-			}
-			if b.NeedsGrad() {
-				for i, gv := range o.Grad.Data {
-					b.Grad.Data[i] += gv * a.Val.Data[i]
-				}
-			}
-		})
+		g.push(tapeEntry{op: opMul, out: o, a: a, b: b})
 	}
 	return o
 }
@@ -169,7 +269,7 @@ func (g *Graph) Scale(a *Var, s float64) *Var {
 	copy(o.Val.Data, a.Val.Data)
 	o.Val.ScaleInPlace(s)
 	if o.NeedsGrad() {
-		g.push(func() { a.Grad.AxpyInPlace(s, o.Grad) })
+		g.push(tapeEntry{op: opScale, out: o, a: a, scalar: s})
 	}
 	return o
 }
@@ -180,19 +280,7 @@ func (g *Graph) AddBias(a, b *Var) *Var {
 	copy(o.Val.Data, a.Val.Data)
 	o.Val.AddRowVecInPlace(b.Val)
 	if o.NeedsGrad() {
-		g.push(func() {
-			if a.NeedsGrad() {
-				a.Grad.AddInPlace(o.Grad)
-			}
-			if b.NeedsGrad() {
-				for i := 0; i < o.Grad.Rows; i++ {
-					row := o.Grad.Row(i)
-					for j, v := range row {
-						b.Grad.Data[j] += v
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opAddBias, out: o, a: a, b: b})
 	}
 	return o
 }
@@ -202,31 +290,20 @@ func (g *Graph) ConcatCols(parts ...*Var) *Var {
 	rows := parts[0].Rows()
 	cols := 0
 	needs := false
-	mats := make([]*tensor.Matrix, len(parts))
-	for i, p := range parts {
+	g.matScratch = g.matScratch[:0]
+	for _, p := range parts {
 		cols += p.Cols()
 		needs = needs || p.NeedsGrad()
-		mats[i] = p.Val
+		g.matScratch = append(g.matScratch, p.Val)
 	}
 	o := g.out(rows, cols, needs)
-	tensor.ConcatColsInto(o.Val, mats...)
+	tensor.ConcatColsInto(o.Val, g.matScratch...)
 	if o.NeedsGrad() {
-		g.push(func() {
-			off := 0
-			for _, p := range parts {
-				w := p.Cols()
-				if p.NeedsGrad() {
-					for i := 0; i < rows; i++ {
-						src := o.Grad.Row(i)[off : off+w]
-						dst := p.Grad.Row(i)
-						for j, v := range src {
-							dst[j] += v
-						}
-					}
-				}
-				off += w
-			}
-		})
+		// The variadic slice must not be retained (it may live on the
+		// caller's stack); copy the part list into the graph-owned ref table.
+		lo := len(g.varRefs)
+		g.varRefs = append(g.varRefs, parts...)
+		g.push(tapeEntry{op: opConcatCols, out: o, refLo: lo, refHi: len(g.varRefs)})
 	}
 	return o
 }
@@ -240,21 +317,19 @@ func (g *Graph) Reshape(a *Var, rows, cols int) *Var {
 	o := g.out(rows, cols, a.NeedsGrad())
 	copy(o.Val.Data, a.Val.Data)
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i, v := range o.Grad.Data {
-				a.Grad.Data[i] += v
-			}
-		})
+		g.push(tapeEntry{op: opReshape, out: o, a: a})
 	}
 	return o
 }
 
 // GatherRows selects rows idx from src (src may be a large embedding table).
+// idx is borrowed until Backward/Reset; Graph.Ints provides index storage
+// with exactly that lifetime.
 func (g *Graph) GatherRows(src *Var, idx []int32) *Var {
 	o := g.out(len(idx), src.Cols(), src.NeedsGrad())
 	tensor.GatherRowsInto(o.Val, src.Val, idx)
 	if o.NeedsGrad() {
-		g.push(func() { tensor.ScatterAddRows(src.Grad, o.Grad, idx) })
+		g.push(tapeEntry{op: opGatherRows, out: o, a: src, idx: idx})
 	}
 	return o
 }

@@ -10,31 +10,7 @@ func (g *Graph) GroupedScore(q, keys *Var, group int) *Var {
 	o := g.out(b, group, q.NeedsGrad() || keys.NeedsGrad())
 	tensor.GroupedScoreInto(o.Val, q.Val, keys.Val, group)
 	if o.NeedsGrad() {
-		g.push(func() {
-			for gi := 0; gi < b; gi++ {
-				dS := o.Grad.Row(gi)
-				qrow := q.Val.Row(gi)
-				for k := 0; k < group; k++ {
-					ds := dS[k]
-					if ds == 0 {
-						continue
-					}
-					krow := keys.Val.Row(gi*group + k)
-					if q.NeedsGrad() {
-						dq := q.Grad.Row(gi)
-						for d, kv := range krow {
-							dq[d] += ds * kv
-						}
-					}
-					if keys.NeedsGrad() {
-						dk := keys.Grad.Row(gi*group + k)
-						for d, qv := range qrow {
-							dk[d] += ds * qv
-						}
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opGroupedScore, out: o, a: q, b: keys, group: group})
 	}
 	return o
 }
@@ -47,29 +23,7 @@ func (g *Graph) GroupedWeightedSum(w, vals *Var, group int) *Var {
 	o := g.out(b, vals.Cols(), w.NeedsGrad() || vals.NeedsGrad())
 	tensor.GroupedWeightedSumInto(o.Val, w.Val, vals.Val, group)
 	if o.NeedsGrad() {
-		g.push(func() {
-			for gi := 0; gi < b; gi++ {
-				dOut := o.Grad.Row(gi)
-				wrow := w.Val.Row(gi)
-				for k := 0; k < group; k++ {
-					vrow := vals.Val.Row(gi*group + k)
-					if w.NeedsGrad() {
-						var dot float64
-						for j, v := range vrow {
-							dot += dOut[j] * v
-						}
-						w.Grad.Row(gi)[k] += dot
-					}
-					if vals.NeedsGrad() {
-						dv := vals.Grad.Row(gi*group + k)
-						wv := wrow[k]
-						for j, dv2 := range dOut {
-							dv[j] += wv * dv2
-						}
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opGroupedWeightedSum, out: o, a: w, b: vals, group: group})
 	}
 	return o
 }
@@ -83,44 +37,14 @@ func (g *Graph) GroupedMatMulLeft(w, src *Var, group int) *Var {
 	o := g.out(b*k2, src.Cols(), w.NeedsGrad() || src.NeedsGrad())
 	tensor.GroupedMatMulLeftInto(o.Val, w.Val, src.Val, group)
 	if o.NeedsGrad() {
-		g.push(func() {
-			c := src.Cols()
-			for gi := 0; gi < b; gi++ {
-				for i := 0; i < k2; i++ {
-					dOut := o.Grad.Row(gi*k2 + i)
-					if w.NeedsGrad() {
-						dw := w.Grad.Row(i)
-						for k := 0; k < group; k++ {
-							srow := src.Val.Row(gi*group + k)
-							var dot float64
-							for j := 0; j < c; j++ {
-								dot += dOut[j] * srow[j]
-							}
-							dw[k] += dot
-						}
-					}
-					if src.NeedsGrad() {
-						wrow := w.Val.Row(i)
-						for k := 0; k < group; k++ {
-							wv := wrow[k]
-							if wv == 0 {
-								continue
-							}
-							ds := src.Grad.Row(gi*group + k)
-							for j, d := range dOut {
-								ds[j] += wv * d
-							}
-						}
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opGroupedMatMulLeft, out: o, a: w, b: src, group: group})
 	}
 	return o
 }
 
 // MulColVec scales every row i of a by the constant col[i] (an R×1 matrix).
-// With a 0/1 column this masks out padded neighborhood rows.
+// With a 0/1 column this masks out padded neighborhood rows. col is borrowed
+// until Backward/Reset.
 func (g *Graph) MulColVec(a *Var, col *tensor.Matrix) *Var {
 	if col.Rows != a.Rows() || col.Cols != 1 {
 		panic("autograd: MulColVec wants an R×1 constant column")
@@ -135,19 +59,7 @@ func (g *Graph) MulColVec(a *Var, col *tensor.Matrix) *Var {
 		}
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i := 0; i < a.Rows(); i++ {
-				s := col.Data[i]
-				if s == 0 {
-					continue
-				}
-				src := o.Grad.Row(i)
-				dst := a.Grad.Row(i)
-				for j, v := range src {
-					dst[j] += v * s
-				}
-			}
-		})
+		g.push(tapeEntry{op: opMulColVec, out: o, a: a, coef: col})
 	}
 	return o
 }
@@ -164,17 +76,7 @@ func (g *Graph) RepeatRows(a *Var, times int) *Var {
 		}
 	}
 	if o.NeedsGrad() {
-		g.push(func() {
-			for i := 0; i < a.Rows(); i++ {
-				dst := a.Grad.Row(i)
-				for t := 0; t < times; t++ {
-					src := o.Grad.Row(i*times + t)
-					for j, v := range src {
-						dst[j] += v
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opRepeatRows, out: o, a: a, group: times})
 	}
 	return o
 }

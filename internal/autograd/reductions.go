@@ -3,22 +3,15 @@ package autograd
 import (
 	"math"
 
-	"taser/internal/mathx"
 	"taser/internal/tensor"
 )
 
 // MeanAll reduces a to its scalar mean.
 func (g *Graph) MeanAll(a *Var) *Var {
 	o := g.out(1, 1, a.NeedsGrad())
-	n := float64(len(a.Val.Data))
-	o.Val.Data[0] = a.Val.Sum() / n
+	o.Val.Data[0] = a.Val.Sum() / float64(len(a.Val.Data))
 	if o.NeedsGrad() {
-		g.push(func() {
-			d := o.Grad.Data[0] / n
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += d
-			}
-		})
+		g.push(tapeEntry{op: opMeanAll, out: o, a: a})
 	}
 	return o
 }
@@ -28,12 +21,7 @@ func (g *Graph) SumAll(a *Var) *Var {
 	o := g.out(1, 1, a.NeedsGrad())
 	o.Val.Data[0] = a.Val.Sum()
 	if o.NeedsGrad() {
-		g.push(func() {
-			d := o.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += d
-			}
-		})
+		g.push(tapeEntry{op: opSumAll, out: o, a: a})
 	}
 	return o
 }
@@ -44,18 +32,7 @@ func (g *Graph) GroupMean(a *Var, group int) *Var {
 	o := g.out(a.Rows()/group, a.Cols(), a.NeedsGrad())
 	tensor.GroupMeanInto(o.Val, a.Val, group)
 	if o.NeedsGrad() {
-		g.push(func() {
-			inv := 1 / float64(group)
-			for gi := 0; gi < o.Rows(); gi++ {
-				src := o.Grad.Row(gi)
-				for r := gi * group; r < (gi+1)*group; r++ {
-					dst := a.Grad.Row(r)
-					for j, v := range src {
-						dst[j] += v * inv
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opGroupMean, out: o, a: a, group: group})
 	}
 	return o
 }
@@ -63,6 +40,8 @@ func (g *Graph) GroupMean(a *Var, group int) *Var {
 // WeightedSumConst returns the scalar Σ_ij coef[i][j]·a[i][j] where coef is a
 // constant. This is the building block of the REINFORCE sample loss
 // (Eqs. 25–26): coefficients are frozen, only log-probabilities carry grad.
+// coef is borrowed until Backward/Reset; Graph.Scratch provides coefficient
+// storage with exactly that lifetime.
 func (g *Graph) WeightedSumConst(a *Var, coef *tensor.Matrix) *Var {
 	a.Val.SameShapeOrPanic(coef, "WeightedSumConst")
 	o := g.out(1, 1, a.NeedsGrad())
@@ -72,38 +51,28 @@ func (g *Graph) WeightedSumConst(a *Var, coef *tensor.Matrix) *Var {
 	}
 	o.Val.Data[0] = s
 	if o.NeedsGrad() {
-		g.push(func() {
-			d := o.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += d * coef.Data[i]
-			}
-		})
+		g.push(tapeEntry{op: opWeightedSumConst, out: o, a: a, coef: coef})
 	}
 	return o
 }
 
 // BCEWithLogits computes the mean binary cross-entropy between logits (B×1)
-// and labels (len B), fused with the sigmoid for numerical stability.
+// and labels (len B), fused with the sigmoid for numerical stability. labels
+// is borrowed until Backward/Reset.
 func (g *Graph) BCEWithLogits(logits *Var, labels []float64) *Var {
 	if logits.Cols() != 1 || logits.Rows() != len(labels) {
 		panic("autograd: BCEWithLogits wants B×1 logits matching labels")
 	}
 	o := g.out(1, 1, logits.NeedsGrad())
-	n := float64(len(labels))
 	var loss float64
 	for i, y := range labels {
 		x := logits.Val.Data[i]
 		// log(1+e^x) computed stably: max(x,0) + log1p(e^-|x|)
 		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
 	}
-	o.Val.Data[0] = loss / n
+	o.Val.Data[0] = loss / float64(len(labels))
 	if o.NeedsGrad() {
-		g.push(func() {
-			d := o.Grad.Data[0] / n
-			for i, y := range labels {
-				logits.Grad.Data[i] += d * (mathx.Sigmoid(logits.Val.Data[i]) - y)
-			}
-		})
+		g.push(tapeEntry{op: opBCEWithLogits, out: o, a: logits, labels: labels})
 	}
 	return o
 }
@@ -114,40 +83,12 @@ func (g *Graph) LayerNormRows(a, gain, bias *Var) *Var {
 	const eps = 1e-5
 	needs := a.NeedsGrad() || gain.NeedsGrad() || bias.NeedsGrad()
 	o := g.out(a.Rows(), a.Cols(), needs)
-	means := make([]float64, a.Rows())
-	invStds := make([]float64, a.Rows())
-	tensor.LayerNormRowsInto(o.Val, a.Val, gain.Val, bias.Val, means, invStds, eps)
+	// Per-row statistics for the backward pass, with graph lifetime.
+	means := g.alloc(1, a.Rows())
+	invStds := g.alloc(1, a.Rows())
+	tensor.LayerNormRowsInto(o.Val, a.Val, gain.Val, bias.Val, means.Data, invStds.Data, eps)
 	if o.NeedsGrad() {
-		g.push(func() {
-			c := float64(a.Cols())
-			for i := 0; i < a.Rows(); i++ {
-				x := a.Val.Row(i)
-				dy := o.Grad.Row(i)
-				mean, invStd := means[i], invStds[i]
-				// xhat_j = (x_j - mean)·invStd
-				var sumDyG, sumDyGXhat float64
-				for j, v := range x {
-					xhat := (v - mean) * invStd
-					dg := dy[j] * gain.Val.Data[j]
-					sumDyG += dg
-					sumDyGXhat += dg * xhat
-					if gain.NeedsGrad() {
-						gain.Grad.Data[j] += dy[j] * xhat
-					}
-					if bias.NeedsGrad() {
-						bias.Grad.Data[j] += dy[j]
-					}
-				}
-				if a.NeedsGrad() {
-					dx := a.Grad.Row(i)
-					for j, v := range x {
-						xhat := (v - mean) * invStd
-						dg := dy[j] * gain.Val.Data[j]
-						dx[j] += invStd * (dg - sumDyG/c - xhat*sumDyGXhat/c)
-					}
-				}
-			}
-		})
+		g.push(tapeEntry{op: opLayerNormRows, out: o, a: a, b: gain, c: bias, aux1: means, aux2: invStds})
 	}
 	return o
 }

@@ -1,0 +1,409 @@
+package autograd
+
+import (
+	"math"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+// opKind identifies a recorded operation on the tape.
+type opKind uint8
+
+const (
+	opMatMul opKind = iota
+	opAdd
+	opSub
+	opMul
+	opScale
+	opAddBias
+	opConcatCols
+	opReshape
+	opGatherRows
+
+	opSigmoid
+	opTanh
+	opReLU
+	opLeakyReLU
+	opGELU
+	opCos
+	opSoftmaxRows
+	opLogSoftmaxRows
+
+	opMeanAll
+	opSumAll
+	opGroupMean
+	opWeightedSumConst
+	opBCEWithLogits
+	opLayerNormRows
+
+	opGroupedScore
+	opGroupedWeightedSum
+	opGroupedMatMulLeft
+	opMulColVec
+	opRepeatRows
+)
+
+// tapeEntry is one recorded operation: a value (not a closure), so the tape
+// slice is recycled across Graph.Reset with zero allocation. Fields are a
+// union over the ops' needs; unused fields stay zero.
+type tapeEntry struct {
+	op     opKind
+	group  int     // GroupMean/Grouped* group size, RepeatRows times
+	scalar float64 // Scale factor, LeakyReLU slope
+
+	out     *Var
+	a, b, c *Var // inputs; c is LayerNorm's bias
+
+	coef         *tensor.Matrix // WeightedSumConst coefficients, MulColVec column
+	aux1, aux2   *tensor.Matrix // LayerNorm per-row means / inverse stddevs (1×R)
+	idx          []int32        // GatherRows indices (borrowed)
+	labels       []float64      // BCEWithLogits labels (borrowed)
+	refLo, refHi int            // ConcatCols part list: g.varRefs[refLo:refHi]
+}
+
+// backstep runs one entry's backward body, accumulating into input Grads.
+// Each case mirrors its op's forward definition; guards on NeedsGrad match
+// the recording-time semantics (an entry is only pushed when the output
+// carries gradient, but individual inputs may still be constants).
+func (g *Graph) backstep(e *tapeEntry) {
+	switch e.op {
+	case opMatMul:
+		if e.a.NeedsGrad() {
+			// dA += dO @ Bᵀ
+			tensor.MatMulTransBAddInto(e.a.Grad, e.out.Grad, e.b.Val)
+		}
+		if e.b.NeedsGrad() {
+			// dB += Aᵀ @ dO
+			tensor.MatMulTransAInto(e.b.Grad, e.a.Val, e.out.Grad)
+		}
+
+	case opAdd:
+		if e.a.NeedsGrad() {
+			e.a.Grad.AddInPlace(e.out.Grad)
+		}
+		if e.b.NeedsGrad() {
+			e.b.Grad.AddInPlace(e.out.Grad)
+		}
+
+	case opSub:
+		if e.a.NeedsGrad() {
+			e.a.Grad.AddInPlace(e.out.Grad)
+		}
+		if e.b.NeedsGrad() {
+			e.b.Grad.SubInPlace(e.out.Grad)
+		}
+
+	case opMul:
+		if e.a.NeedsGrad() {
+			for i, gv := range e.out.Grad.Data {
+				e.a.Grad.Data[i] += gv * e.b.Val.Data[i]
+			}
+		}
+		if e.b.NeedsGrad() {
+			for i, gv := range e.out.Grad.Data {
+				e.b.Grad.Data[i] += gv * e.a.Val.Data[i]
+			}
+		}
+
+	case opScale:
+		e.a.Grad.AxpyInPlace(e.scalar, e.out.Grad)
+
+	case opAddBias:
+		if e.a.NeedsGrad() {
+			e.a.Grad.AddInPlace(e.out.Grad)
+		}
+		if e.b.NeedsGrad() {
+			for i := 0; i < e.out.Grad.Rows; i++ {
+				row := e.out.Grad.Row(i)
+				for j, v := range row {
+					e.b.Grad.Data[j] += v
+				}
+			}
+		}
+
+	case opConcatCols:
+		rows := e.out.Rows()
+		off := 0
+		for _, p := range g.varRefs[e.refLo:e.refHi] {
+			w := p.Cols()
+			if p.NeedsGrad() {
+				for i := 0; i < rows; i++ {
+					src := e.out.Grad.Row(i)[off : off+w]
+					dst := p.Grad.Row(i)
+					for j, v := range src {
+						dst[j] += v
+					}
+				}
+			}
+			off += w
+		}
+
+	case opReshape:
+		for i, v := range e.out.Grad.Data {
+			e.a.Grad.Data[i] += v
+		}
+
+	case opGatherRows:
+		tensor.ScatterAddRows(e.a.Grad, e.out.Grad, e.idx)
+
+	case opSigmoid:
+		for i, s := range e.out.Val.Data {
+			e.a.Grad.Data[i] += e.out.Grad.Data[i] * s * (1 - s)
+		}
+
+	case opTanh:
+		for i, t := range e.out.Val.Data {
+			e.a.Grad.Data[i] += e.out.Grad.Data[i] * (1 - t*t)
+		}
+
+	case opReLU:
+		for i, v := range e.a.Val.Data {
+			if v > 0 {
+				e.a.Grad.Data[i] += e.out.Grad.Data[i]
+			}
+		}
+
+	case opLeakyReLU:
+		for i, v := range e.a.Val.Data {
+			d := e.out.Grad.Data[i]
+			if v < 0 {
+				d *= e.scalar
+			}
+			e.a.Grad.Data[i] += d
+		}
+
+	case opGELU:
+		a, o := e.a, e.out
+		if n := len(a.Val.Data); n < geluParallelThreshold {
+			for i := 0; i < n; i++ {
+				a.Grad.Data[i] += o.Grad.Data[i] * mathx.GELUGrad(a.Val.Data[i])
+			}
+		} else {
+			tensor.ParallelRows(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Grad.Data[i] += o.Grad.Data[i] * mathx.GELUGrad(a.Val.Data[i])
+				}
+			})
+		}
+
+	case opCos:
+		for i, v := range e.a.Val.Data {
+			e.a.Grad.Data[i] -= e.out.Grad.Data[i] * math.Sin(v)
+		}
+
+	case opSoftmaxRows:
+		// dx_j = s_j (dy_j - Σ_k dy_k s_k)
+		for i := 0; i < e.a.Rows(); i++ {
+			s := e.out.Val.Row(i)
+			dy := e.out.Grad.Row(i)
+			var dot float64
+			for k, sv := range s {
+				dot += dy[k] * sv
+			}
+			dx := e.a.Grad.Row(i)
+			for j, sv := range s {
+				dx[j] += sv * (dy[j] - dot)
+			}
+		}
+
+	case opLogSoftmaxRows:
+		// dx_j = dy_j - softmax_j Σ_k dy_k
+		for i := 0; i < e.a.Rows(); i++ {
+			dy := e.out.Grad.Row(i)
+			var sum float64
+			for _, v := range dy {
+				sum += v
+			}
+			logp := e.out.Val.Row(i)
+			dx := e.a.Grad.Row(i)
+			for j, lp := range logp {
+				dx[j] += dy[j] - math.Exp(lp)*sum
+			}
+		}
+
+	case opMeanAll:
+		d := e.out.Grad.Data[0] / float64(len(e.a.Grad.Data))
+		for i := range e.a.Grad.Data {
+			e.a.Grad.Data[i] += d
+		}
+
+	case opSumAll:
+		d := e.out.Grad.Data[0]
+		for i := range e.a.Grad.Data {
+			e.a.Grad.Data[i] += d
+		}
+
+	case opGroupMean:
+		group := e.group
+		inv := 1 / float64(group)
+		for gi := 0; gi < e.out.Rows(); gi++ {
+			src := e.out.Grad.Row(gi)
+			for r := gi * group; r < (gi+1)*group; r++ {
+				dst := e.a.Grad.Row(r)
+				for j, v := range src {
+					dst[j] += v * inv
+				}
+			}
+		}
+
+	case opWeightedSumConst:
+		d := e.out.Grad.Data[0]
+		for i := range e.a.Grad.Data {
+			e.a.Grad.Data[i] += d * e.coef.Data[i]
+		}
+
+	case opBCEWithLogits:
+		d := e.out.Grad.Data[0] / float64(len(e.labels))
+		for i, y := range e.labels {
+			e.a.Grad.Data[i] += d * (mathx.Sigmoid(e.a.Val.Data[i]) - y)
+		}
+
+	case opLayerNormRows:
+		a, gain, bias := e.a, e.b, e.c
+		means, invStds := e.aux1.Data, e.aux2.Data
+		c := float64(a.Cols())
+		for i := 0; i < a.Rows(); i++ {
+			x := a.Val.Row(i)
+			dy := e.out.Grad.Row(i)
+			mean, invStd := means[i], invStds[i]
+			// xhat_j = (x_j - mean)·invStd
+			var sumDyG, sumDyGXhat float64
+			for j, v := range x {
+				xhat := (v - mean) * invStd
+				dg := dy[j] * gain.Val.Data[j]
+				sumDyG += dg
+				sumDyGXhat += dg * xhat
+				if gain.NeedsGrad() {
+					gain.Grad.Data[j] += dy[j] * xhat
+				}
+				if bias.NeedsGrad() {
+					bias.Grad.Data[j] += dy[j]
+				}
+			}
+			if a.NeedsGrad() {
+				dx := a.Grad.Row(i)
+				for j, v := range x {
+					xhat := (v - mean) * invStd
+					dg := dy[j] * gain.Val.Data[j]
+					dx[j] += invStd * (dg - sumDyG/c - xhat*sumDyGXhat/c)
+				}
+			}
+		}
+
+	case opGroupedScore:
+		q, keys, group := e.a, e.b, e.group
+		b := keys.Rows() / group
+		for gi := 0; gi < b; gi++ {
+			dS := e.out.Grad.Row(gi)
+			qrow := q.Val.Row(gi)
+			for k := 0; k < group; k++ {
+				ds := dS[k]
+				if ds == 0 {
+					continue
+				}
+				krow := keys.Val.Row(gi*group + k)
+				if q.NeedsGrad() {
+					dq := q.Grad.Row(gi)
+					for d, kv := range krow {
+						dq[d] += ds * kv
+					}
+				}
+				if keys.NeedsGrad() {
+					dk := keys.Grad.Row(gi*group + k)
+					for d, qv := range qrow {
+						dk[d] += ds * qv
+					}
+				}
+			}
+		}
+
+	case opGroupedWeightedSum:
+		w, vals, group := e.a, e.b, e.group
+		b := vals.Rows() / group
+		for gi := 0; gi < b; gi++ {
+			dOut := e.out.Grad.Row(gi)
+			wrow := w.Val.Row(gi)
+			for k := 0; k < group; k++ {
+				vrow := vals.Val.Row(gi*group + k)
+				if w.NeedsGrad() {
+					var dot float64
+					for j, v := range vrow {
+						dot += dOut[j] * v
+					}
+					w.Grad.Row(gi)[k] += dot
+				}
+				if vals.NeedsGrad() {
+					dv := vals.Grad.Row(gi*group + k)
+					wv := wrow[k]
+					for j, dv2 := range dOut {
+						dv[j] += wv * dv2
+					}
+				}
+			}
+		}
+
+	case opGroupedMatMulLeft:
+		w, src, group := e.a, e.b, e.group
+		k2 := w.Rows()
+		b := src.Rows() / group
+		c := src.Cols()
+		for gi := 0; gi < b; gi++ {
+			for i := 0; i < k2; i++ {
+				dOut := e.out.Grad.Row(gi*k2 + i)
+				if w.NeedsGrad() {
+					dw := w.Grad.Row(i)
+					for k := 0; k < group; k++ {
+						srow := src.Val.Row(gi*group + k)
+						var dot float64
+						for j := 0; j < c; j++ {
+							dot += dOut[j] * srow[j]
+						}
+						dw[k] += dot
+					}
+				}
+				if src.NeedsGrad() {
+					wrow := w.Val.Row(i)
+					for k := 0; k < group; k++ {
+						wv := wrow[k]
+						if wv == 0 {
+							continue
+						}
+						ds := src.Grad.Row(gi*group + k)
+						for j, d := range dOut {
+							ds[j] += wv * d
+						}
+					}
+				}
+			}
+		}
+
+	case opMulColVec:
+		for i := 0; i < e.a.Rows(); i++ {
+			s := e.coef.Data[i]
+			if s == 0 {
+				continue
+			}
+			src := e.out.Grad.Row(i)
+			dst := e.a.Grad.Row(i)
+			for j, v := range src {
+				dst[j] += v * s
+			}
+		}
+
+	case opRepeatRows:
+		times := e.group
+		for i := 0; i < e.a.Rows(); i++ {
+			dst := e.a.Grad.Row(i)
+			for t := 0; t < times; t++ {
+				src := e.out.Grad.Row(i*times + t)
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+
+	default:
+		panic("autograd: unknown tape op")
+	}
+}

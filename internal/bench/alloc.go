@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"taser/internal/adaptive"
+	"taser/internal/sampler"
+	"taser/internal/serve"
+	"taser/internal/train"
+)
+
+// Alloc measures heap-allocation behavior on the two execution hot paths the
+// arena-backed autograd stack serves (DESIGN.md §7): the full TASER training
+// step (adaptive mini-batch + adaptive neighbor sampling + forward/backward +
+// both optimizer steps) and micro-batched online predicts. Each path reports
+// a cold phase — the first iterations, while the arena, tape and buffer pools
+// fill — and the steady state after warmup, as allocs and µs per
+// step/request. Allocation counts are scheduler-independent and therefore
+// the stable signal on this repo's 1-CPU dev container (EXPERIMENTS.md);
+// timings carry the usual ±25% noise.
+func Alloc(o Options) error {
+	o = o.Normalize()
+	ds := o.loadDatasets([]string{"wikipedia"})[0]
+
+	fmt.Fprintf(o.Out, "Arena-backed execution: allocations before/after warmup (%s)\n", ds.Spec.Name)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12s %12s\n", "path", "phase", "allocs/op", "us/op")
+
+	// --- training step (the BenchmarkStepTASER configuration) ---
+	cfg := o.baseConfig(train.ModelTGAT)
+	cfg.AdaBatch, cfg.AdaNeighbor, cfg.Decoder = true, true, adaptive.DecoderGATv2
+	tr, err := train.New(cfg, ds)
+	if err != nil {
+		return err
+	}
+	measure := func(iters int, op func()) (allocs, usPer float64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		dur := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := float64(iters)
+		return float64(after.Mallocs-before.Mallocs) / n,
+			float64(dur.Microseconds()) / n
+	}
+	step := func() { tr.TrainStep() }
+	coldA, coldT := measure(3, step)
+	for i := 0; i < 7; i++ { // finish warming pools, tape and arena classes
+		tr.TrainStep()
+	}
+	warmA, warmT := measure(30, step)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "train-step", "cold", coldA, coldT)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "train-step", "warm", warmA, warmT)
+
+	// --- serve predict (micro-batched, embedding cache on) ---
+	eng, err := serve.New(serve.Config{
+		Model: tr.Model, Pred: tr.Pred,
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: tr.Cfg.N, Policy: sampler.MostRecent, CacheSize: 2048,
+		MaxBatch: 16, MaxWait: 200 * time.Microsecond, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	events := ds.Graph.Events[:ds.TrainEnd]
+	if err := eng.Bootstrap(events, ds.EdgeFeat.SliceRows(len(events))); err != nil {
+		return err
+	}
+	wm, _ := eng.Watermark()
+	qt := wm + 1
+	// Closed-loop predicts from a few concurrent clients so flushes batch the
+	// way production traffic does; per-op numbers divide by total requests.
+	const clients = 4
+	predictRound := func(reqsPerClient int) func() {
+		return func() {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < reqsPerClient; i++ {
+						ev := events[(c*7919+i*131)%len(events)]
+						if _, err := eng.PredictLink(ev.Src, ev.Dst, qt); err != nil {
+							panic(err)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+	}
+	perOp := func(a, t float64, reqs int) (float64, float64) {
+		return a / float64(reqs), t / float64(reqs)
+	}
+	coldA, coldT = measure(1, predictRound(8))
+	coldA, coldT = perOp(coldA, coldT, clients*8)
+	for i := 0; i < 3; i++ {
+		predictRound(50)()
+	}
+	warmA, warmT = measure(1, predictRound(400))
+	warmA, warmT = perOp(warmA, warmT, clients*400)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "serve-predict", "cold", coldA, coldT)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "serve-predict", "warm", warmA, warmT)
+	return nil
+}

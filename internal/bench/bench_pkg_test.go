@@ -145,6 +145,19 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 }
 
+func TestAllocSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Alloc(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"train-step", "serve-predict", "cold", "warm"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("alloc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestIngestSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	o := tinyOptions(&buf)

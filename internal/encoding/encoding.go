@@ -84,20 +84,22 @@ func (e *FreqEncoder) Encode(dst []float64, freq int) {
 
 // Frequencies counts, for each position j in a neighborhood's node list, how
 // many times nodes[j] appears in the whole list. Padding entries (−1) get
-// frequency 0.
+// frequency 0. Neighborhoods are tiny (the candidate budget m), so the
+// quadratic scan beats a counting map and — being allocation-free — keeps the
+// per-root hot loop of the adaptive encoder off the heap.
 func Frequencies(nodes []int32, out []int) {
-	counts := make(map[int32]int, len(nodes))
-	for _, u := range nodes {
-		if u >= 0 {
-			counts[u]++
-		}
-	}
 	for j, u := range nodes {
 		if u < 0 {
 			out[j] = 0
-		} else {
-			out[j] = counts[u]
+			continue
 		}
+		n := 0
+		for _, v := range nodes {
+			if v == u {
+				n++
+			}
+		}
+		out[j] = n
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"taser/internal/encoding"
 	"taser/internal/mathx"
 	"taser/internal/nn"
-	"taser/internal/tensor"
 )
 
 // GraphMixerConfig configures the GraphMixer backbone.
@@ -60,17 +59,18 @@ func (m *GraphMixer) Forward(g *autograd.Graph, mb *MiniBatch) (*autograd.Var, *
 	}
 	block := mb.Layers[0]
 	t, n := block.NumTargets, block.Budget
-	h := autograd.NewConst(mb.LeafFeat)
+	h := g.Const(mb.LeafFeat)
 	hT, hN := splitTargetsNbrs(g, h, t, n)
 
 	// Fixed time encoding of each neighbor's Δt (Eq. 8), computed outside
-	// the graph since it carries no parameters.
-	phi := tensor.New(t*n, m.cfg.TimeDim)
+	// the graph since it carries no parameters; the buffer is graph-lifetime
+	// arena scratch.
+	phi := g.Scratch(t*n, m.cfg.TimeDim)
 	for i := 0; i < t*n; i++ {
 		m.timeEnc.Encode(phi.Row(i), block.DeltaT.Data[i])
 	}
 
-	tokens := g.ConcatCols(hN, autograd.NewConst(block.EdgeFeat), autograd.NewConst(phi))
+	tokens := g.ConcatCols(hN, g.Const(block.EdgeFeat), g.Const(phi))
 	tokens = g.MulColVec(m.tokenIn.Apply(g, tokens), block.MaskCol) // zero padding
 	mixed := m.mixer.Apply(g, tokens)
 	mixed = g.MulColVec(mixed, block.MaskCol)

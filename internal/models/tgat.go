@@ -70,13 +70,14 @@ func (m *TGAT) Params() []*autograd.Var {
 }
 
 // splitTargetsNbrs gathers the first t rows (targets) and remaining t·n rows
-// (flattened neighbors) of h as two Vars.
+// (flattened neighbors) of h as two Vars. Index storage comes from the
+// graph's arena (the tape borrows it until Reset).
 func splitTargetsNbrs(g *autograd.Graph, h *autograd.Var, t, n int) (*autograd.Var, *autograd.Var) {
-	idxT := make([]int32, t)
+	idxT := g.Ints(t)
 	for i := range idxT {
 		idxT[i] = int32(i)
 	}
-	idxN := make([]int32, t*n)
+	idxN := g.Ints(t * n)
 	for i := range idxN {
 		idxN[i] = int32(t + i)
 	}
@@ -91,7 +92,7 @@ func (m *TGAT) Forward(g *autograd.Graph, mb *MiniBatch) (*autograd.Var, *CoTrai
 	if len(mb.Layers) != m.cfg.Layers {
 		panic("models: TGAT minibatch layer count mismatch")
 	}
-	h := autograd.NewConst(mb.LeafFeat)
+	h := g.Const(mb.LeafFeat)
 	info := &CoTrainInfo{Budget: mb.Layers[len(mb.Layers)-1].Budget}
 	for k, block := range mb.Layers {
 		layer := m.layers[k]
@@ -100,7 +101,7 @@ func (m *TGAT) Forward(g *autograd.Graph, mb *MiniBatch) (*autograd.Var, *CoTrai
 
 		// Messages m_u = { h_u ‖ x_uvt ‖ Φ(Δt) } (Eq. 1).
 		phi := layer.timeEnc.Encode(g, block.DeltaT)
-		msg := g.ConcatCols(hN, autograd.NewConst(block.EdgeFeat), phi)
+		msg := g.ConcatCols(hN, g.Const(block.EdgeFeat), phi)
 
 		// Query from the target itself with Φ(0) (Eq. 4).
 		q := layer.wq.Apply(g, g.ConcatCols(hT, layer.timeEnc.EncodeZeros(g, t)))
@@ -110,9 +111,9 @@ func (m *TGAT) Forward(g *autograd.Graph, mb *MiniBatch) (*autograd.Var, *CoTrai
 		// Scaled dot-product attention within each neighborhood (Eq. 7),
 		// with padding masked out before and after the softmax.
 		scores := g.Scale(g.GroupedScore(q, keys, n), 1/math.Sqrt(float64(n)))
-		scores = g.Add(scores, autograd.NewConst(block.MaskBias))
+		scores = g.Add(scores, g.Const(block.MaskBias))
 		attn := g.SoftmaxRows(scores)
-		attn = g.Mul(attn, autograd.NewConst(block.Mask))
+		attn = g.Mul(attn, g.Const(block.Mask))
 		agg := g.GroupedWeightedSum(attn, vals, n)
 
 		// Post-attention FFN combining with the target's own state.

@@ -31,16 +31,15 @@ func NewLearnableTimeEnc(d int, rng *mathx.RNG) *LearnableTimeEnc {
 
 // Encode maps a (R×1) constant Δt column to R×d time features.
 func (t *LearnableTimeEnc) Encode(g *autograd.Graph, deltaT *tensor.Matrix) *autograd.Var {
-	dt := autograd.NewConst(deltaT)
+	dt := g.Const(deltaT)
 	// (R×1)@(1×d) broadcasts Δt across frequencies.
 	return g.Cos(g.AddBias(g.MatMul(dt, t.W), t.B))
 }
 
 // EncodeZeros returns Φ(0) = cos(b) tiled over rows (used for the target's
-// own query, Eq. 4).
+// own query, Eq. 4). The zero column comes from the graph's arena.
 func (t *LearnableTimeEnc) EncodeZeros(g *autograd.Graph, rows int) *autograd.Var {
-	zero := tensor.New(rows, 1)
-	return t.Encode(g, zero)
+	return t.Encode(g, g.Scratch(rows, 1))
 }
 
 // Params implements nn.Module.

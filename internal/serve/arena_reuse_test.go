@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"taser/internal/datasets"
+	"taser/internal/sampler"
+	"taser/internal/train"
+)
+
+// TestPredictionsStableUnderIngestWithArenaReuse is this PR's -race
+// acceptance test: with the scheduler serving every micro-batch off one
+// reusable arena-backed graph (poisoned, so any use-after-Reset turns NaN)
+// while a writer concurrently ingests and publishes snapshots, repeated
+// predictions at a fixed query time over a fixed event prefix must stay
+// bitwise-identical to a cache-less reference engine bootstrapped with that
+// prefix — graph reuse, flush-scratch reuse and request pooling must all be
+// invisible to callers.
+func TestPredictionsStableUnderIngestWithArenaReuse(t *testing.T) {
+	// Poison every arena in the process (the schedulers' graphs included):
+	// a use-after-Reset anywhere turns scores NaN and fails the bitwise
+	// comparison below.
+	t.Setenv("TASER_ARENA_POISON", "1")
+	ds := datasets.GDELT(0.02, 31)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 12, TimeDim: 6, BatchSize: 32, Seed: 17,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cacheSize int) *Engine {
+		e, err := New(Config{
+			Model: tr.Model, Pred: tr.Pred,
+			NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+			Budget: tr.Cfg.N, Policy: sampler.MostRecent, CacheSize: cacheSize,
+			MaxBatch: 8, MaxWait: 200 * time.Microsecond, SnapshotEvery: 64, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		return e
+	}
+	e := mk(64) // cache on: exercises hit/miss mixing within flushes
+
+	// Fixed prefix ingested up front: queries against it are reproducible no
+	// matter how much more the writer ingests (MostRecent + query time below
+	// every later event's timestamp ⇒ identical neighborhoods).
+	events := ds.Graph.Events
+	prefix := len(events) / 2
+	for i := 0; i < prefix; i++ {
+		ev := events[i]
+		if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.PublishSnapshot()
+	qt := events[prefix-1].Time // at-watermark queries: later events are all ≥ qt
+
+	// Reference scores from a cache-less from-scratch engine over the prefix.
+	ref := mk(0)
+	if err := ref.Bootstrap(events[:prefix], ds.EdgeFeat.SliceRows(prefix)); err != nil {
+		t.Fatal(err)
+	}
+	const probes = 16
+	want := make([]float64, probes)
+	probe := func(i int) (int32, int32) {
+		ev := events[(i*29)%prefix]
+		return ev.Src, ev.Dst
+	}
+	for i := range want {
+		src, dst := probe(i)
+		r, err := ref.PredictLink(src, dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Score
+	}
+
+	// Concurrent phase: writer streams the rest of the events (publishing
+	// snapshots along the way) while predictors hammer the fixed probes.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := prefix; i < len(events); i++ {
+			ev := events[i]
+			ts := ev.Time
+			if ts < qt {
+				ts = qt // keep the stream monotone past the probe time
+			}
+			if err := e.Ingest(ev.Src, ev.Dst, ts, ds.EdgeFeat.Row(i)); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 3 {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				src, dst := probe(i % probes)
+				got, err := e.PredictLink(src, dst, qt)
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				if got.Score != want[i%probes] {
+					t.Errorf("probe %d (%d→%d): served %v, reference %v",
+						i%probes, src, dst, got.Score, want[i%probes])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced re-check: the same probes once more, post-stream.
+	for i := 0; i < probes; i++ {
+		src, dst := probe(i)
+		got, err := e.PredictLink(src, dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want[i] {
+			t.Fatalf("post-stream probe %d: served %v, reference %v", i, got.Score, want[i])
+		}
+	}
+}

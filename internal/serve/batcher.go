@@ -3,10 +3,11 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
-	"taser/internal/autograd"
 	"taser/internal/sampler"
+	"taser/internal/tensor"
 )
 
 // reqKind distinguishes the two serving request types.
@@ -24,6 +25,13 @@ type request struct {
 	t        float64
 	out      chan response // buffered (1): the scheduler never blocks on a reply
 }
+
+// requestPool recycles request headers and their response channels across
+// calls: the scheduler drops its reference once it has sent the (single)
+// response, so after the caller receives it the request is free for reuse.
+var requestPool = sync.Pool{New: func() any {
+	return &request{out: make(chan response, 1)}
+}}
 
 func (r *request) rootCount() int {
 	if r.kind == reqPredict {
@@ -58,7 +66,7 @@ type PredictResult struct {
 // Embed returns node's embedding at query time t, micro-batched with
 // concurrent requests against the engine's current snapshot.
 func (e *Engine) Embed(node int32, t float64) (EmbedResult, error) {
-	resp, err := e.submit(&request{kind: reqEmbed, src: node, t: t})
+	resp, err := e.submit(reqEmbed, node, 0, t)
 	if err != nil {
 		return EmbedResult{}, err
 	}
@@ -69,27 +77,31 @@ func (e *Engine) Embed(node int32, t float64) (EmbedResult, error) {
 // t: both endpoints are embedded (sharing the micro-batch with concurrent
 // requests) and scored by the edge predictor.
 func (e *Engine) PredictLink(src, dst int32, t float64) (PredictResult, error) {
-	resp, err := e.submit(&request{kind: reqPredict, src: src, dst: dst, t: t})
+	resp, err := e.submit(reqPredict, src, dst, t)
 	if err != nil {
 		return PredictResult{}, err
 	}
 	return PredictResult{Score: resp.score, Version: resp.version, Cached: resp.cached}, nil
 }
 
-// submit validates, enqueues, and waits. Once the scheduler has accepted a
-// request it is guaranteed a response, even if Close races with the wait.
-func (e *Engine) submit(r *request) (response, error) {
-	if r.src < 0 || int(r.src) >= e.cfg.NumNodes || (r.kind == reqPredict && (r.dst < 0 || int(r.dst) >= e.cfg.NumNodes)) {
+// submit validates, enqueues a pooled request, and waits. Once the scheduler
+// has accepted a request it is guaranteed a response, even if Close races
+// with the wait.
+func (e *Engine) submit(kind reqKind, src, dst int32, t float64) (response, error) {
+	if src < 0 || int(src) >= e.cfg.NumNodes || (kind == reqPredict && (dst < 0 || int(dst) >= e.cfg.NumNodes)) {
 		return response{}, fmt.Errorf("serve: node id out of range [0, %d)", e.cfg.NumNodes)
 	}
-	r.out = make(chan response, 1)
+	r := requestPool.Get().(*request)
+	r.kind, r.src, r.dst, r.t = kind, src, dst, t
 	start := time.Now()
 	select {
 	case e.reqs <- r:
 	case <-e.quit:
+		requestPool.Put(r)
 		return response{}, ErrClosed
 	}
 	resp := <-r.out
+	requestPool.Put(r)
 	e.lat.add(time.Since(start))
 	e.requests.Add(1)
 	return resp, resp.err
@@ -155,12 +167,41 @@ type targetState struct {
 	keyTs     float64 // cache key: the node's last event time, or -Inf for an event-less node
 	cacheable bool    // t ≥ last event time (or no events at all) and the cache is enabled
 	cached    bool
-	emb       []float64
+	emb       []float64 // view into flushScratch.embBuf
+}
+
+// tkey deduplicates (node, t) roots within one flush.
+type tkey struct {
+	node int32
+	t    float64
+}
+
+// flushScratch is the scheduler's per-flush working set, reused across
+// flushes so steady-state serving performs O(1) amortized allocations per
+// micro-batch. Owned, like the builder and its graph, by the scheduler
+// goroutine.
+type flushScratch struct {
+	index      map[tkey]int
+	states     []targetState
+	sIdx, dIdx []int
+	miss       []int
+	roots      []sampler.Target
+	embBuf     []float64 // backing slab for targetState.emb views
+	scores     []float64
+	srcRows    []int32
+	dstRows    []int32
+	which      []int
+	embMat     *tensor.Matrix // gathered-scoring input, rebuilt per flush
 }
 
 // flush serves one micro-batch: pin the latest snapshot, retarget the builder
 // if the snapshot advanced, resolve roots through the embedding cache,
 // build + forward the misses in one pooled minibatch, then score and respond.
+// All model compute runs on the builder's reusable arena-backed graph;
+// embeddings are copied out of it (into fs.embBuf, the cache, and per-caller
+// response copies) before the next checkout, per the §7 ownership contract —
+// arena slabs never alias the pinned snapshot, whose views the builder only
+// reads.
 func (e *Engine) flush(pending []*request) {
 	snap := e.snap.Load()
 	if snap.Version != e.builderVersion {
@@ -175,20 +216,26 @@ func (e *Engine) flush(pending []*request) {
 
 	// Deduplicate roots: identical (node, t) pairs in one batch share a
 	// single embedding computation (Zipfian traffic makes this common).
-	type tkey struct {
-		node int32
-		t    float64
+	fs := &e.fs
+	if fs.index == nil {
+		fs.index = make(map[tkey]int)
 	}
-	index := make(map[tkey]int, 2*len(pending))
-	states := make([]*targetState, 0, 2*len(pending))
+	clear(fs.index)
+	fs.states = fs.states[:0]
 	d := e.cfg.Model.HiddenDim()
+	// Pre-size the embedding slab: emb views must stay valid for the whole
+	// flush, so the slab cannot grow once the first view is taken.
+	if need := 2 * len(pending) * d; cap(fs.embBuf) < need {
+		fs.embBuf = make([]float64, need)
+	}
 	resolve := func(node int32, t float64) int {
 		k := tkey{node, t}
-		if i, ok := index[k]; ok {
+		if i, ok := fs.index[k]; ok {
 			return i
 		}
-		st := &targetState{node: node, t: t}
-		st.emb = make([]float64, d)
+		st := targetState{node: node, t: t}
+		off := len(fs.states) * d
+		st.emb = fs.embBuf[off : off+d : off+d]
 		// Cache only queries at-or-after the node's last event: for those,
 		// N(node, t) equals the neighborhood the cached entry was computed
 		// on, so the entry is exact up to time-encoding drift. A node with
@@ -204,18 +251,19 @@ func (e *Engine) flush(pending []*request) {
 		if st.cacheable && e.cache.get(node, st.keyTs, st.emb) {
 			st.cached = true
 		}
-		index[k] = len(states)
-		states = append(states, st)
-		return len(states) - 1
+		fs.index[k] = len(fs.states)
+		fs.states = append(fs.states, st)
+		return len(fs.states) - 1
 	}
-	sIdx := make([]int, len(pending))
-	dIdx := make([]int, len(pending))
-	for i, r := range pending {
-		sIdx[i] = resolve(r.src, r.t)
-		dIdx[i] = -1
+	fs.sIdx = fs.sIdx[:0]
+	fs.dIdx = fs.dIdx[:0]
+	for _, r := range pending {
+		fs.sIdx = append(fs.sIdx, resolve(r.src, r.t))
+		di := -1
 		if r.kind == reqPredict {
-			dIdx[i] = resolve(r.dst, r.t)
+			di = resolve(r.dst, r.t)
 		}
+		fs.dIdx = append(fs.dIdx, di)
 	}
 
 	// Build + forward the cache misses as one minibatch, padded to the next
@@ -223,86 +271,102 @@ func (e *Engine) flush(pending []*request) {
 	// of one per distinct batch size. Forward is row-local (attention,
 	// normalization and token mixing all stay within a target's rows), so
 	// padding with sentinel roots never perturbs real outputs.
-	var miss []int
-	for i, st := range states {
-		if !st.cached {
-			miss = append(miss, i)
+	fs.miss = fs.miss[:0]
+	for i := range fs.states {
+		if !fs.states[i].cached {
+			fs.miss = append(fs.miss, i)
 		}
 	}
-	if len(miss) > 0 {
-		roots := make([]sampler.Target, len(miss), padBatch(len(miss)))
-		for i, si := range miss {
-			roots[i] = sampler.Target{Node: states[si].node, Time: states[si].t}
+	if len(fs.miss) > 0 {
+		fs.roots = fs.roots[:0]
+		for _, si := range fs.miss {
+			fs.roots = append(fs.roots, sampler.Target{Node: fs.states[si].node, Time: fs.states[si].t})
 		}
-		for len(roots) < cap(roots) {
-			roots = append(roots, sampler.Target{})
+		for len(fs.roots) < padBatch(len(fs.miss)) {
+			fs.roots = append(fs.roots, sampler.Target{})
 		}
-		mb := e.builder.Build(roots)
-		g := autograd.New()
+		mb := e.builder.Build(fs.roots)
+		g := e.builder.Graph()
 		out, _ := e.cfg.Model.Forward(g, mb)
-		for i, si := range miss {
-			copy(states[si].emb, out.Val.Row(i))
+		for i, si := range fs.miss {
+			copy(fs.states[si].emb, out.Val.Row(i))
 		}
 		e.builder.Release(mb)
-		for _, si := range miss {
-			if st := states[si]; st.cacheable {
+		for _, si := range fs.miss {
+			if st := &fs.states[si]; st.cacheable {
 				e.cache.put(st.node, st.keyTs, st.emb)
 			}
 		}
 		e.batches.Add(1)
-		e.roots.Add(uint64(len(miss)))
+		e.roots.Add(uint64(len(fs.miss)))
 	}
 
 	// Score predict requests in one gathered pass over the resolved
 	// embeddings — the same decoder path offline evaluation uses.
-	scores := e.scorePairs(states, pending, sIdx, dIdx)
+	scores := e.scorePairs(pending)
 
 	for i, r := range pending {
 		resp := response{version: snap.Version}
 		switch r.kind {
 		case reqEmbed:
-			// Copy: deduplicated requests must not share one backing array.
-			resp.emb = append([]float64(nil), states[sIdx[i]].emb...)
-			resp.cached = states[sIdx[i]].cached
+			// Copy: the response escapes to the caller, and deduplicated
+			// requests must not share one backing array.
+			resp.emb = append([]float64(nil), fs.states[fs.sIdx[i]].emb...)
+			resp.cached = fs.states[fs.sIdx[i]].cached
 		case reqPredict:
 			resp.score = scores[i]
-			resp.cached = states[sIdx[i]].cached && states[dIdx[i]].cached
+			resp.cached = fs.states[fs.sIdx[i]].cached && fs.states[fs.dIdx[i]].cached
 		}
 		r.out <- resp
 	}
 }
 
 // scorePairs runs the edge predictor over every predict request in one
-// gathered forward; returns a slice aligned with pending (zero for embeds).
-func (e *Engine) scorePairs(states []*targetState, pending []*request, sIdx, dIdx []int) []float64 {
+// gathered forward; returns a slice (flush-scratch-owned) aligned with
+// pending, zero for embeds.
+func (e *Engine) scorePairs(pending []*request) []float64 {
+	fs := &e.fs
+	fs.scores = fs.scores[:0]
+	for range pending {
+		fs.scores = append(fs.scores, 0)
+	}
 	n := 0
 	for _, r := range pending {
 		if r.kind == reqPredict {
 			n++
 		}
 	}
-	scores := make([]float64, len(pending))
 	if n == 0 {
-		return scores
+		return fs.scores
 	}
-	emb := autograd.NewConst(embMatrix(states, e.cfg.Model.HiddenDim()))
-	srcRows := make([]int32, 0, n)
-	dstRows := make([]int32, 0, n)
-	which := make([]int, 0, n)
+	d := e.cfg.Model.HiddenDim()
+	if fs.embMat == nil {
+		fs.embMat = tensor.New(len(fs.states), d)
+	} else {
+		fs.embMat.Resize(len(fs.states), d)
+	}
+	for i := range fs.states {
+		copy(fs.embMat.Row(i), fs.states[i].emb)
+	}
+	fs.srcRows = fs.srcRows[:0]
+	fs.dstRows = fs.dstRows[:0]
+	fs.which = fs.which[:0]
 	for i, r := range pending {
 		if r.kind != reqPredict {
 			continue
 		}
-		srcRows = append(srcRows, int32(sIdx[i]))
-		dstRows = append(dstRows, int32(dIdx[i]))
-		which = append(which, i)
+		fs.srcRows = append(fs.srcRows, int32(fs.sIdx[i]))
+		fs.dstRows = append(fs.dstRows, int32(fs.dIdx[i]))
+		fs.which = append(fs.which, i)
 	}
-	g := autograd.New()
-	logits := e.cfg.Pred.ScoreGathered(g, emb, srcRows, dstRows)
-	for j, i := range which {
-		scores[i] = logits.Val.Data[j]
+	// Fresh checkout of the builder graph: the forward-pass embeddings were
+	// already copied into fs.embBuf, so resetting here is safe.
+	g := e.builder.Graph()
+	logits := e.cfg.Pred.ScoreGathered(g, g.Const(fs.embMat), fs.srcRows, fs.dstRows)
+	for j, i := range fs.which {
+		fs.scores[i] = logits.Val.Data[j]
 	}
-	return scores
+	return fs.scores
 }
 
 // padBatch rounds n up to the next power of two (the pool shape classes).

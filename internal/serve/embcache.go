@@ -82,11 +82,3 @@ func (c *embCache) counts() (hits, stale, misses uint64) {
 	return c.hits, c.stale, c.misses
 }
 
-// embMatrix packs per-state embeddings into one matrix for gathered scoring.
-func embMatrix(states []*targetState, dim int) *tensor.Matrix {
-	m := tensor.New(len(states), dim)
-	for i, st := range states {
-		copy(m.Row(i), st.emb)
-	}
-	return m
-}

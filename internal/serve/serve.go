@@ -164,6 +164,7 @@ type Engine struct {
 	builder        *train.InferenceBuilder
 	builderVersion uint64
 	cache          *embCache
+	fs             flushScratch // per-flush working set, reused across flushes
 
 	reqs      chan *request
 	quit      chan struct{}

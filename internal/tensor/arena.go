@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// Arena is a slab-backed Matrix allocator for bounded-lifetime intermediates:
+// Get checks a zeroed matrix out, Reset returns every outstanding checkout to
+// per-shape-class free lists in one stroke. After one warm pass over a fixed
+// working set, Get performs no heap allocations — both the Matrix headers and
+// their float64 slabs are recycled.
+//
+// Shape classes: slab capacity is the element count rounded up to a power of
+// two (arenaMinClass at least), so matrices whose sizes differ only by
+// padding or small batch jitter share a free list instead of fragmenting one
+// list per exact shape.
+//
+// Lifetime contract (DESIGN.md §7): a checked-out matrix is owned by the
+// caller until the next Reset; anything that must survive Reset has to be
+// copied out. Arena slabs are always allocated by the arena itself — they can
+// never alias caller-provided storage (e.g. pinned snapshot views), so
+// resetting an arena cannot corrupt data owned by other subsystems.
+//
+// An Arena is not safe for concurrent use; attach one per single-threaded
+// execution context (a training step's graph, a serving scheduler).
+type Arena struct {
+	free   map[int][]*Matrix // keyed by slab capacity class (power of two)
+	used   []*Matrix
+	poison bool
+}
+
+// arenaMinClass is the smallest slab capacity; tiny matrices (scalars, bias
+// rows) all land in one class instead of one per width.
+const arenaMinClass = 8
+
+// arenaPoisonEnv force-enables poisoning for every arena in the process; use
+// it to flush use-after-Reset bugs out of any binary without a rebuild.
+const arenaPoisonEnv = "TASER_ARENA_POISON"
+
+// NewArena returns an empty arena. Poison debugging is off unless the
+// TASER_ARENA_POISON environment variable is non-empty.
+func NewArena() *Arena {
+	return &Arena{
+		free:   make(map[int][]*Matrix),
+		poison: os.Getenv(arenaPoisonEnv) != "",
+	}
+}
+
+// SetPoison toggles the debug mode: on Reset every returned slab is filled
+// with NaN, so any stale reference that outlives its checkout reads NaN and
+// surfaces immediately (losses, gradients and predictions all go NaN) instead
+// of silently consuming the next step's data. Legitimate reuse is unaffected:
+// Get zero-fills before handing a slab back out.
+func (a *Arena) SetPoison(on bool) { a.poison = on }
+
+// classOf rounds n up to the slab capacity class.
+func classOf(n int) int {
+	c := arenaMinClass
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get checks out a zeroed r×c matrix. The result is indistinguishable from
+// tensor.New(r, c) and is owned by the caller until the next Reset.
+func (a *Arena) Get(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: Arena.Get(%d, %d) with negative dimension", r, c))
+	}
+	n := r * c
+	cls := classOf(n)
+	var m *Matrix
+	if list := a.free[cls]; len(list) > 0 {
+		m = list[len(list)-1]
+		list[len(list)-1] = nil
+		a.free[cls] = list[:len(list)-1]
+		m.Resize(r, c) // zero-fills; see Matrix.Resize
+	} else {
+		m = &Matrix{Rows: r, Cols: c, Data: make([]float64, n, cls)}
+	}
+	a.used = append(a.used, m)
+	return m
+}
+
+// Reset ends every outstanding checkout: all matrices handed out since the
+// previous Reset return to their free lists (poisoned with NaN when the debug
+// mode is on). Matrices obtained before Reset must not be used afterwards.
+func (a *Arena) Reset() {
+	for i, m := range a.used {
+		if a.poison {
+			for j := range m.Data {
+				m.Data[j] = math.NaN()
+			}
+		}
+		cls := classOf(cap(m.Data))
+		a.free[cls] = append(a.free[cls], m)
+		a.used[i] = nil
+	}
+	a.used = a.used[:0]
+}
+
+// InUse reports the number of outstanding checkouts (for tests and metrics).
+func (a *Arena) InUse() int { return len(a.used) }
+
+// FreeSlabs reports the total number of matrices parked on free lists.
+func (a *Arena) FreeSlabs() int {
+	n := 0
+	for _, list := range a.free {
+		n += len(list)
+	}
+	return n
+}

@@ -204,30 +204,34 @@ func GroupedMatMulLeftInto(dst, w, src *Matrix, group int) {
 		panic("tensor: GroupedMatMulLeft dst shape")
 	}
 	c := src.Cols
-	body := func(gLo, gHi int) {
-		for g := gLo; g < gHi; g++ {
-			for i := 0; i < k2; i++ {
-				out := dst.Row(g*k2 + i)
-				for j := range out {
-					out[j] = 0
+	if b*k2*group*c < parallelThreshold || workerCount == 1 {
+		groupedMatMulLeftRange(dst, w, src, group, 0, b)
+		return
+	}
+	parallelRows(b, func(gLo, gHi int) { groupedMatMulLeftRange(dst, w, src, group, gLo, gHi) })
+}
+
+// groupedMatMulLeftRange computes groups [gLo, gHi) of GroupedMatMulLeftInto;
+// a named function so the serial path allocates no closure.
+func groupedMatMulLeftRange(dst, w, src *Matrix, group, gLo, gHi int) {
+	k2, c := w.Rows, src.Cols
+	for g := gLo; g < gHi; g++ {
+		for i := 0; i < k2; i++ {
+			out := dst.Row(g*k2 + i)
+			for j := range out {
+				out[j] = 0
+			}
+			wrow := w.Row(i)
+			for k := 0; k < group; k++ {
+				wv := wrow[k]
+				if wv == 0 {
+					continue
 				}
-				wrow := w.Row(i)
-				for k := 0; k < group; k++ {
-					wv := wrow[k]
-					if wv == 0 {
-						continue
-					}
-					srow := src.Data[(g*group+k)*c : (g*group+k+1)*c]
-					for j, v := range srow {
-						out[j] += wv * v
-					}
+				srow := src.Data[(g*group+k)*c : (g*group+k+1)*c]
+				for j, v := range srow {
+					out[j] += wv * v
 				}
 			}
 		}
 	}
-	if b*k2*group*c < parallelThreshold {
-		body(0, b)
-		return
-	}
-	parallelRows(b, body)
 }

@@ -67,25 +67,35 @@ func MatMulTransBInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MatMulTransBInto dst shape")
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
+	// The serial path goes through a named range function so no closure is
+	// materialized on it (conditionally-constructed closures heap-escape even
+	// when the parallel branch is never taken).
+	if a.Rows*a.Cols*b.Rows < parallelThreshold || workerCount == 1 {
+		matMulTransBRange(dst, a, b, 0, a.Rows, false)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRange(dst, a, b, lo, hi, false) })
+}
+
+// matMulTransBRange computes (or, with accumulate, adds) rows [lo, hi) of
+// a @ bᵀ into dst.
+func matMulTransBRange(dst, a, b *Matrix, lo, hi int, accumulate bool) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			if accumulate {
+				drow[j] += s
+			} else {
 				drow[j] = s
 			}
 		}
 	}
-	if a.Rows*a.Cols*b.Rows < parallelThreshold || workerCount == 1 {
-		body(0, a.Rows)
-		return
-	}
-	parallelRows(a.Rows, body)
 }
 
 // MatMulTransB allocates and returns a @ bᵀ.
@@ -93,6 +103,23 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 	dst := New(a.Rows, b.Rows)
 	MatMulTransBInto(dst, a, b)
 	return dst
+}
+
+// MatMulTransBAddInto accumulates dst += a @ bᵀ without materializing bᵀ or a
+// temporary product (the gradient-accumulation form autograd's MatMul
+// backward uses: dA += dO @ Bᵀ). Workers own disjoint dst row blocks.
+func MatMulTransBAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransBAdd %dx%d @ (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulTransBAddInto dst shape")
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold || workerCount == 1 {
+		matMulTransBRange(dst, a, b, 0, a.Rows, true)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRange(dst, a, b, lo, hi, true) })
 }
 
 // MatMulTransAInto computes dst = aᵀ @ b, accumulating into dst (dst is NOT
@@ -140,6 +167,12 @@ func parallelRows(rows int, body func(lo, hi int)) {
 	workers := workerCount
 	if workers > rows {
 		workers = rows
+	}
+	if workers <= 1 {
+		// No parallelism to win: skip the goroutine + WaitGroup traffic (and
+		// their allocations) instead of fanning out to a single worker.
+		body(0, rows)
+		return
 	}
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup

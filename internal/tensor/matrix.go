@@ -71,8 +71,16 @@ func (m *Matrix) Clone() *Matrix {
 
 // Resize reshapes m to r×c in place and zeroes every element, reusing the
 // backing array when its capacity suffices. After Resize the matrix is
-// indistinguishable from a fresh New(r, c); buffer pools use it to recycle
-// matrices across training steps without reallocating.
+// indistinguishable from a fresh New(r, c); buffer pools and the Arena use it
+// to recycle matrices across training steps without reallocating.
+//
+// The zero-fill is a contract, not an optimization detail: recycled slabs
+// (pool.go, Arena) hold a previous checkout's data, and every consumer of a
+// resized matrix — gradient accumulators that +=, masks finished by
+// FinishMask, kernels like ReLU that only write selected elements — assumes a
+// fresh-New state. This includes the region beyond the previous length when a
+// matrix grows within its capacity: Go reslicing does NOT clear it, so Resize
+// must (TestResizeZeroFillsGrownRegion pins this).
 func (m *Matrix) Resize(r, c int) *Matrix {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("tensor: Resize(%d, %d) with negative dimension", r, c))

@@ -1,0 +1,136 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"taser/internal/adaptive"
+	"taser/internal/datasets"
+)
+
+// allocBudgetConfig is the full-pipeline configuration BenchmarkStepTASER
+// measures: both adaptive components on, GPU finder, frequency cache.
+func allocBudgetConfig() Config {
+	return Config{
+		Model: ModelTGAT, Finder: FinderGPU, CacheRatio: 0.2,
+		AdaBatch: true, AdaNeighbor: true, Decoder: adaptive.DecoderGATv2,
+		Hidden: 16, TimeDim: 8, BatchSize: 64, MaxEvalEdges: 10,
+	}
+}
+
+// TestStepAllocBudget is the allocation-regression guard: after arena warmup
+// a full TASER training step (build + adaptive selection + forward/backward +
+// both optimizer steps) must stay within stepAllocBudget heap allocations.
+// The budget is far below the ~1,430 allocs/step of the pre-arena execution
+// stack, so any reintroduced per-op allocation trips it immediately.
+//
+// With GOMAXPROCS > 1 the parallel kernels (MatMul row fan-out, large GELU)
+// legitimately allocate goroutine closures per call, so the budget is only
+// tight on a single-proc run — CI pins GOMAXPROCS=1 for this test.
+func TestStepAllocBudget(t *testing.T) {
+	const stepAllocBudget = 100
+	ds := datasets.Wikipedia(0.1, 3)
+	tr, err := New(allocBudgetConfig(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // warm the arena, pools and tape
+		tr.TrainStep()
+	}
+	allocs := testing.AllocsPerRun(20, func() { tr.TrainStep() })
+	budget := float64(stepAllocBudget)
+	if runtime.GOMAXPROCS(0) > 1 {
+		// Goroutine fan-out in the parallel kernels; bound it loosely so the
+		// test still catches per-op regressions on developer machines.
+		budget = 600
+	}
+	t.Logf("allocs/step = %.1f (budget %.0f, GOMAXPROCS=%d)", allocs, budget, runtime.GOMAXPROCS(0))
+	if allocs > budget {
+		t.Fatalf("TrainStep allocates %.1f times/step, budget %.0f", allocs, budget)
+	}
+}
+
+// TestTrainStepGraphReuseMatchesFresh pins the §7 equivalence contract at the
+// training level: a trainer running on reused arena-backed graphs produces
+// bitwise-identical losses, evaluation metrics and parameters to one that
+// builds a fresh unpooled graph every step.
+func TestTrainStepGraphReuseMatchesFresh(t *testing.T) {
+	for _, cfg := range []Config{
+		{Model: ModelTGAT, Finder: FinderGPU, Hidden: 12, TimeDim: 6, BatchSize: 32, MaxEvalEdges: 8},
+		allocBudgetConfig(),
+		{Model: ModelGraphMixer, Finder: FinderGPU, AdaBatch: true, AdaNeighbor: true,
+			Decoder: adaptive.DecoderLinear, Hidden: 12, TimeDim: 6, BatchSize: 32, MaxEvalEdges: 8},
+	} {
+		cfg.Seed = 9
+		ds := datasets.Wikipedia(0.08, 4)
+		reused, err := New(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.freshGraphs = true
+		// Poison the reused trainer's arenas: if any step consumed a stale
+		// checkout the losses would go NaN and diverge.
+		reused.modelGraph().Arena().SetPoison(true)
+		reused.samplerGraph().Arena().SetPoison(true)
+
+		for step := 0; step < 6; step++ {
+			lr, lf := reused.TrainStep(), fresh.TrainStep()
+			if lr != lf {
+				t.Fatalf("%s/ada=%v step %d: reused loss %v != fresh loss %v",
+					cfg.Model, cfg.AdaNeighbor, step, lr, lf)
+			}
+		}
+		if mr, mf := reused.EvalMRR(SplitVal), fresh.EvalMRR(SplitVal); mr != mf {
+			t.Fatalf("%s: reused MRR %v != fresh MRR %v", cfg.Model, mr, mf)
+		}
+		pr, pf := reused.Model.Params(), fresh.Model.Params()
+		for i := range pr {
+			for j, v := range pr[i].Val.Data {
+				if pf[i].Val.Data[j] != v {
+					t.Fatalf("%s: param %d elem %d diverged: reused %v fresh %v",
+						cfg.Model, i, j, v, pf[i].Val.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedGraphReuseMatchesFresh runs the same equivalence through the
+// asynchronous prefetch loop (finishBatch on the consumer, adaptive hops on
+// the dedicated finder) — graph reuse must stay invisible there too.
+func TestPipelinedGraphReuseMatchesFresh(t *testing.T) {
+	cfg := Config{
+		Model: ModelTGAT, Finder: FinderGPU, AdaNeighbor: true,
+		Decoder: adaptive.DecoderGATv2, Hidden: 12, TimeDim: 6,
+		BatchSize: 32, MaxEvalEdges: 8, Seed: 5,
+	}
+	ds := datasets.Wikipedia(0.08, 4)
+	reused, err := New(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.freshGraphs = true
+	const steps = 6
+	pr := reused.NewPipeline(steps)
+	defer pr.Close()
+	pf := fresh.NewPipeline(steps)
+	defer pf.Close()
+	for s := 0; s < steps; s++ {
+		lr, okr := pr.Step()
+		lf, okf := pf.Step()
+		if !okr || !okf {
+			t.Fatalf("pipeline exhausted at step %d", s)
+		}
+		if lr != lf {
+			t.Fatalf("step %d: reused loss %v != fresh loss %v", s, lr, lf)
+		}
+	}
+}

@@ -99,7 +99,10 @@ func (t *Trainer) finishBatch(pb *prepared) *builtBatch {
 	}
 	out := &builtBatch{}
 	if t.Sampler != nil {
-		out.gS = autograd.New()
+		// Checking the reusable sampler graph out here ends the previous
+		// step's pass; finishBatch always runs consumer-side when the
+		// adaptive sampler is on, serialized with SampleLoss/Backward.
+		out.gS = t.samplerGraph()
 	}
 
 	layers := t.Model.NumLayers()
@@ -132,6 +135,7 @@ func (t *Trainer) finishBatch(pb *prepared) *builtBatch {
 				out.sel, out.cs = sel, cs // retained for co-training
 			} else {
 				out.innerCS = append(out.innerCS, cs) // gS still references it
+				t.Sampler.Recycle(sel)                // inner selections end here
 			}
 			t.pool.putResult(res)
 			pb.outer, pb.cs = nil, nil
@@ -176,6 +180,10 @@ func (t *Trainer) releasePrepared(pb *prepared) {
 		t.pool.putSet(pb.built.cs)
 		for _, cs := range pb.built.innerCS {
 			t.pool.putSet(cs)
+		}
+		if pb.built.sel != nil {
+			t.Sampler.Recycle(pb.built.sel)
+			pb.built.sel = nil
 		}
 	}
 	t.pool.putResult(pb.outer)

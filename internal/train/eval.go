@@ -3,7 +3,6 @@ package train
 import (
 	"sort"
 
-	"taser/internal/autograd"
 	"taser/internal/sampler"
 )
 
@@ -84,12 +83,17 @@ func (t *Trainer) evalChunk(edges []int) float64 {
 	pb := t.prepareRoots(roots)
 	built := t.finishBatch(pb)
 	defer t.releasePrepared(pb)
-	g := autograd.New()
+	// Same reusable graph and pooled index scratch as a training step: the
+	// eval path shares the build pool and the arena, so steady-state
+	// evaluation allocates like a step instead of rebuilding from scratch.
+	g := t.modelGraph()
 	emb, _ := t.Model.Forward(g, built.mb)
 
 	// Score all (src, candidate) pairs in one shot.
-	srcIdx := make([]int32, b*(1+k))
-	dstIdx := make([]int32, b*(1+k))
+	srcIdx := t.pool.getIDs(b * (1 + k))[:b*(1+k)]
+	dstIdx := t.pool.getIDs(b * (1 + k))[:b*(1+k)]
+	defer t.pool.putIDs(srcIdx)
+	defer t.pool.putIDs(dstIdx)
 	for i := 0; i < b; i++ {
 		srcIdx[i] = int32(i)
 		dstIdx[i] = int32(b + i) // positive
@@ -152,10 +156,10 @@ func (t *Trainer) EvalAP(split Split) float64 {
 		b := len(batch)
 		pb := t.prepareRoots(t.rootsForEdges(batch)) // [srcs | dsts | negs]
 		built := t.finishBatch(pb)
-		g := autograd.New()
+		g := t.modelGraph()
 		emb, _ := t.Model.Forward(g, built.mb)
-		srcIdx := make([]int32, 2*b)
-		dstIdx := make([]int32, 2*b)
+		srcIdx := t.pool.getIDs(2 * b)[:2*b]
+		dstIdx := t.pool.getIDs(2 * b)[:2*b]
 		for i := 0; i < b; i++ {
 			srcIdx[i], dstIdx[i] = int32(i), int32(b+i)
 			srcIdx[b+i], dstIdx[b+i] = int32(i), int32(2*b+i)
@@ -166,6 +170,8 @@ func (t *Trainer) EvalAP(split Split) float64 {
 				scored{logits.Val.Data[i], true},
 				scored{logits.Val.Data[b+i], false})
 		}
+		t.pool.putIDs(srcIdx)
+		t.pool.putIDs(dstIdx)
 		t.releasePrepared(pb)
 	}
 	if len(all) == 0 {

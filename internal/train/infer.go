@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"taser/internal/autograd"
 	"taser/internal/device"
 	"taser/internal/featstore"
 	"taser/internal/mathx"
@@ -56,6 +57,23 @@ type InferenceBuilder struct {
 
 	pool             *buildPool
 	nodeDim, edgeDim int
+
+	// g is the builder's reusable arena-backed forward graph; see Graph.
+	g *autograd.Graph
+}
+
+// Graph checks out the builder's reusable arena-backed autograd graph for
+// one forward pass, resetting the previous pass's tape and recycling its
+// intermediates. The serving scheduler pairs each Build with one Graph
+// checkout: embeddings must be copied out of the returned graph's matrices
+// before the next checkout (DESIGN.md §7). Like Build/SwapGraph, it is owned
+// by a single goroutine.
+func (b *InferenceBuilder) Graph() *autograd.Graph {
+	if b.g == nil {
+		b.g = autograd.NewReusable()
+	}
+	b.g.Reset()
+	return b.g
 }
 
 // NewInferenceBuilder validates cfg and builds the initial finder and stores.

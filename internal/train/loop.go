@@ -3,7 +3,6 @@ package train
 import (
 	"time"
 
-	"taser/internal/autograd"
 	"taser/internal/models"
 	"taser/internal/sampler"
 )
@@ -76,7 +75,10 @@ func (t *Trainer) consume(pb *prepared) float64 {
 	var loss float64
 	var info *models.CoTrainInfo
 	t.time("PP", func() {
-		gM := autograd.New()
+		// Reusable arena-backed graph: checkout ends the previous step's
+		// pass. Everything read after Backward (posLogits, importance
+		// scores) is copied out below, per the §7 ownership contract.
+		gM := t.modelGraph()
 		emb, fwdInfo := t.Model.Forward(gM, built.mb)
 		info = fwdInfo
 		t.srcIdx = grow(t.srcIdx, 2*b)

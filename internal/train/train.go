@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"taser/internal/adaptive"
+	"taser/internal/autograd"
 	"taser/internal/cache"
 	"taser/internal/datasets"
 	"taser/internal/device"
@@ -192,6 +193,45 @@ type Trainer struct {
 	srcIdx, dstIdx []int32
 	labels         []float64
 	posLogits      []float64
+
+	// Reusable arena-backed autograd graphs (DESIGN.md §7): gM records the
+	// model forward–backward, gS the adaptive sampler's. Both are owned by
+	// the consumer side (consume, finishBatch, eval), which is serialized by
+	// construction; each is Reset at checkout, so everything a step produced
+	// stays readable until the next step begins and anything that must
+	// survive (losses, logits, importance scores) is copied out before then.
+	gM, gS *autograd.Graph
+
+	// freshGraphs disables graph/arena reuse: every checkout returns a new
+	// unpooled graph. Tests use it to pin the reused path bitwise-equal to
+	// the from-scratch path.
+	freshGraphs bool
+}
+
+// modelGraph checks out the model graph for one forward(-backward) pass,
+// ending the previous pass's checkouts.
+func (t *Trainer) modelGraph() *autograd.Graph {
+	if t.freshGraphs {
+		return autograd.New()
+	}
+	if t.gM == nil {
+		t.gM = autograd.NewReusable()
+	}
+	t.gM.Reset()
+	return t.gM
+}
+
+// samplerGraph is modelGraph's counterpart for the adaptive sampler's tape
+// (a separate graph so the sample loss backward never replays model ops).
+func (t *Trainer) samplerGraph() *autograd.Graph {
+	if t.freshGraphs {
+		return autograd.New()
+	}
+	if t.gS == nil {
+		t.gS = autograd.NewReusable()
+	}
+	t.gS.Reset()
+	return t.gS
 }
 
 // New builds a trainer for the dataset under cfg.
