@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc vet serve loadtest
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune vet serve loadtest loadtest-http
 
 all: build test
 
@@ -46,6 +46,23 @@ bench-ingest:
 	$(GO) run ./cmd/taser-bench -exp ingest
 
 # Arena-backed execution: allocs/step and allocs/request before/after warmup
-# for the training step and micro-batched serving (see DESIGN.md §7).
+# for the training step, micro-batched serving and the online fine-tune step
+# (see DESIGN.md §7/§8).
 bench-alloc:
 	$(GO) run ./cmd/taser-bench -exp alloc
+
+# Online fine-tuning on a drifted stream: frozen vs fine-tuned prequential
+# MRR, with weight publication measured as non-blocking (see DESIGN.md §8).
+bench-finetune:
+	$(GO) run ./cmd/taser-bench -exp finetune
+
+# HTTP-mode load test: build taser-serve and taser-bench, start a real server
+# (short pretraining at small scale), drive /v1/ingest + /v1/predict +
+# /v1/embed over HTTP with closed-loop clients, then shut the server down.
+loadtest-http:
+	$(GO) build -o /tmp/taser-serve ./cmd/taser-serve
+	$(GO) build -o /tmp/taser-bench ./cmd/taser-bench
+	@/tmp/taser-serve -dataset wikipedia -scale 0.05 -epochs 1 -addr 127.0.0.1:8091 & \
+	SRV=$$!; \
+	/tmp/taser-bench -exp loadhttp -serve-addr http://127.0.0.1:8091; \
+	STATUS=$$?; kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; exit $$STATUS

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|loadhttp|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -37,6 +37,12 @@ func main() {
 		ingEvents  = flag.String("ingest-events", "", "ingest: comma-separated stream lengths (default 8192,16384,32768,65536)")
 		ingEvery   = flag.Int("ingest-every", 0, "ingest: events per snapshot publication (default 256)")
 		ingNodes   = flag.Int("ingest-nodes", 0, "ingest: node-id space of the synthetic stream (default 2000)")
+		ftEvery    = flag.Int("finetune-every", 0, "finetune: drifted events per fine-tune round (default 96)")
+		ftNegs     = flag.Int("finetune-negs", 0, "finetune: negatives per prequential MRR eval (default 19)")
+		ftLR       = flag.Float64("finetune-lr", 0, "finetune: fine-tuning learning rate (default 3e-4)")
+		ftPasses   = flag.Int("finetune-passes", 0, "finetune: replay passes per round (default 4)")
+		srvAddr    = flag.String("serve-addr", "", "loadhttp: base URL of a live taser-serve (empty = self-host in process)")
+		srvWait    = flag.Duration("serve-wait", 0, "loadhttp: readiness-poll budget for an external server (default 120s)")
 	)
 	flag.Parse()
 
@@ -45,6 +51,9 @@ func main() {
 		BatchSize: *batch, Seed: *seed, MaxEvalEdges: *evalEdges,
 		ServeRequests: *srvReqs, ServeIngestRate: *srvIngest,
 		IngestEvery: *ingEvery, IngestNodes: *ingNodes,
+		FinetuneEvery: *ftEvery, FinetuneNegs: *ftNegs, FinetuneLR: *ftLR,
+		FinetunePasses: *ftPasses,
+		ServeAddr:      *srvAddr, ServeWait: *srvWait,
 	}
 	if *dsNames != "" {
 		opts.Datasets = strings.Split(*dsNames, ",")
@@ -83,10 +92,12 @@ func main() {
 		"serve":               bench.Serve,
 		"ingest":              bench.Ingest,
 		"alloc":               bench.Alloc,
+		"finetune":            bench.Finetune,
+		"loadhttp":            bench.LoadHTTP, // excluded from `all`: meant for a live server (self-hosts when -serve-addr is empty)
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve", "ingest", "alloc"}
+		"pipeline", "serve", "ingest", "alloc", "finetune"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -2,17 +2,20 @@
 // HTTP/JSON API: it pretrains a model offline on a dataset's training split,
 // bootstraps the serving engine with those events, and then serves link
 // prediction and node embeddings while accepting streaming ingest — the
-// deployment loop of the paper's motivating applications.
+// deployment loop of the paper's motivating applications. With -finetune it
+// also attaches the continual-learning fine-tuner (internal/finetune), which
+// tails the ingest stream and publishes updated weights into serving without
+// ever blocking prediction.
 //
 // Usage:
 //
-//	taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080
+//	taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080 [-finetune]
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; see serve.NewHandler):
 //
 //	POST /v1/ingest   {"src":1,"dst":2,"t":123.5,"feat":[...]}   → {"events":N,"watermark":T}
-//	POST /v1/predict  {"src":1,"dst":2,"t":123.5}                → {"score":S,"version":V,"cached":B}
-//	POST /v1/embed    {"node":1,"t":123.5}                       → {"embedding":[...],"version":V,"cached":B}
+//	POST /v1/predict  {"src":1,"dst":2,"t":123.5}                → {"score":S,"version":V,"weights":W,"cached":B}
+//	POST /v1/embed    {"node":1,"t":123.5}                       → {"embedding":[...],"version":V,"weights":W,"cached":B}
 //	GET  /v1/stats                                               → engine counters and latency percentiles
 //
 // Out-of-order events are rejected with HTTP 409 and the current watermark
@@ -21,8 +24,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"taser/internal/datasets"
+	"taser/internal/finetune"
 	"taser/internal/sampler"
 	"taser/internal/serve"
 	"taser/internal/train"
@@ -54,6 +56,11 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 256, "publish a snapshot every k ingested events")
 		latWindow = flag.Int("latency-window", 0, "request latencies retained for P50/P99 stats (0 = default 4096)")
 		replay    = flag.Bool("replay", false, "replay the val/test split through ingest at startup")
+
+		ftOn       = flag.Bool("finetune", false, "attach the online fine-tuner (continual learning from the ingest stream)")
+		ftInterval = flag.Duration("finetune-interval", 0, "fine-tune round cadence (0 = finetune default)")
+		ftWindow   = flag.Int("replay-window", 0, "recent events replayed per fine-tune round (0 = finetune default)")
+		ftLR       = flag.Float64("finetune-lr", 0, "fine-tuning learning rate (0 = finetune default)")
 	)
 	flag.Parse()
 
@@ -83,6 +90,7 @@ func main() {
 		Budget: *n, Policy: sampler.MostRecent,
 		MaxBatch: *maxBatch, MaxWait: *maxWait,
 		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, LatencyWindow: *latWindow,
+		FinetuneInterval: *ftInterval, ReplayWindow: *ftWindow,
 		Seed: *seed,
 	})
 	if err != nil {
@@ -116,118 +124,60 @@ func main() {
 		fmt.Printf("replayed to watermark t=%v\n", wm)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Src, Dst int32
-			T        float64
-			Feat     []float64
-		}
-		if !decode(w, r, &req) {
-			return
-		}
-		if err := engine.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
-			code := http.StatusBadRequest
-			if errors.Is(err, serve.ErrStaleEvent) {
-				code = http.StatusConflict
-			}
-			writeErr(w, code, err)
-			return
-		}
-		wm, _ := engine.Watermark() // the event just admitted set it
-		writeJSON(w, map[string]any{"events": engine.NumEvents(), "watermark": wm})
-	})
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Src, Dst int32
-			T        float64
-		}
-		if !decode(w, r, &req) {
-			return
-		}
-		res, err := engine.PredictLink(req.Src, req.Dst, req.T)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, map[string]any{"score": res.Score, "version": res.Version, "cached": res.Cached})
-	})
-	mux.HandleFunc("POST /v1/embed", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Node int32
-			T    float64
-		}
-		if !decode(w, r, &req) {
-			return
-		}
-		res, err := engine.Embed(req.Node, req.T)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, map[string]any{"embedding": res.Embedding, "version": res.Version, "cached": res.Cached})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := engine.Stats()
-		writeJSON(w, map[string]any{
-			"requests": st.Requests, "batches": st.Batches,
-			"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
-			"cache_hits": st.CacheHits, "cache_stale": st.CacheStale, "cache_misses": st.CacheMisses,
-			"snapshot_version": st.SnapshotVersion,
-			"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
-			"events": st.Events,
-			"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+	var tuner *finetune.Tuner
+	if *ftOn {
+		tuner, err = finetune.New(finetune.Config{
+			Engine: engine, Model: tr.Model, Pred: tr.Pred,
+			NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+			NumNodes: ds.Spec.NumNodes, NumSrc: ds.Spec.NumSrc,
+			Budget: *n, Policy: sampler.MostRecent,
+			LR: *ftLR, Seed: *seed,
 		})
-	})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: finetune: %v\n", err)
+			os.Exit(1)
+		}
+		tuner.Start()
+		fmt.Println("online fine-tuner attached (weights publish lock-free into serving)")
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting connections,
-	// finish in-flight handlers, and only then close the engine so every
-	// accepted micro-batch is served. A bare http.ListenAndServe would block
-	// until process kill and the deferred engine.Close would never run.
+	// finish in-flight handlers, and only then close the tuner and engine so
+	// every accepted micro-batch is served. A bare http.ListenAndServe would
+	// block until process kill and the deferred closes would never run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(engine)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s\n", *addr)
 
+	shutdown := func() {
+		if tuner != nil {
+			tuner.Close()
+			st := tuner.Stats()
+			fmt.Printf("fine-tuner: %d rounds, %d steps, %d events, published v%d (last loss %.4f)\n",
+				st.Rounds, st.Steps, st.Events, st.Published, st.LastLoss)
+			if st.Failed != "" {
+				fmt.Fprintf(os.Stderr, "taser-serve: fine-tuner stopped early: %s\n", st.Failed)
+			}
+		}
+		engine.Close()
+	}
 	select {
 	case err := <-errc: // listener failed before any signal
-		engine.Close()
+		shutdown()
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	fmt.Println("shutting down: draining HTTP connections and the engine")
+	fmt.Println("shutting down: draining HTTP connections, the fine-tuner and the engine")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "taser-serve: shutdown: %v\n", err)
 	}
-	engine.Close()
+	shutdown()
 	fmt.Println("bye")
-}
-
-// decode parses the JSON body into dst, writing a 400 on failure.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Connection-level failure; nothing useful left to do.
-		_ = err
-	}
-}
-
-func writeErr(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

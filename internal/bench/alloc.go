@@ -57,6 +57,29 @@ func Alloc(o Options) error {
 	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "train-step", "cold", coldA, coldT)
 	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "train-step", "warm", warmA, warmT)
 
+	// --- online fine-tune step (pooled build + arena graph + Adam on clones) ---
+	ds2 := tr.DS
+	ft, err := train.NewFineTuner(train.FineTuneConfig{
+		Model: tr.Model, Pred: tr.Pred,
+		Infer: train.InferConfig{
+			TCSR: ds2.TCSR, NodeFeat: ds2.NodeFeat, EdgeFeat: ds2.EdgeFeat,
+			Budget: tr.Cfg.N, Policy: sampler.MostRecent, Seed: o.Seed,
+		},
+		NumNodes: ds2.Spec.NumNodes, NumSrc: ds2.Spec.NumSrc, Seed: o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	ftEvents := ds2.Graph.Events[:64]
+	ftStep := func() { ft.Step(ftEvents, nil) }
+	coldA, coldT = measure(3, ftStep)
+	for i := 0; i < 7; i++ {
+		ftStep()
+	}
+	warmA, warmT = measure(30, ftStep)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "finetune-step", "cold", coldA, coldT)
+	fmt.Fprintf(o.Out, "%-14s %-12s %12.1f %12.1f\n", "finetune-step", "warm", warmA, warmT)
+
 	// --- serve predict (micro-batched, embedding cache on) ---
 	eng, err := serve.New(serve.Config{
 		Model: tr.Model, Pred: tr.Pred,

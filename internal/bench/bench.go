@@ -13,6 +13,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"taser/internal/datasets"
 	"taser/internal/train"
@@ -47,6 +48,19 @@ type Options struct {
 	IngestEvents []int // stream lengths per row (default 8192..65536)
 	IngestEvery  int   // events per snapshot publication (default 256)
 	IngestNodes  int   // node-id space of the synthetic stream (default 2000)
+
+	// Fine-tuning experiment knobs (-exp finetune); zero values pick the
+	// defaults documented in Finetune.
+	FinetuneEvery  int     // drifted events ingested per fine-tune round (default 96)
+	FinetuneNegs   int     // negatives per prequential MRR evaluation (default 19)
+	FinetuneLR     float64 // fine-tuning learning rate (default 3e-4)
+	FinetunePasses int     // replay passes per round (default 4)
+
+	// HTTP load-generator knobs (-exp loadhttp). Empty ServeAddr self-hosts
+	// an in-process HTTP server; otherwise the generator drives a live
+	// taser-serve at that base URL (e.g. http://127.0.0.1:8080).
+	ServeAddr string
+	ServeWait time.Duration // readiness-poll budget for an external server (default 120s)
 }
 
 // Normalize fills defaults.

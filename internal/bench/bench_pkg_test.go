@@ -174,3 +174,39 @@ func TestIngestSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestFinetuneSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.FinetuneEvery = 16
+	o.FinetuneNegs = 5
+	if err := Finetune(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"frozen", "fine-tuned", "MRR", "swap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("finetune output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadHTTPSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	// Empty ServeAddr self-hosts an engine behind serve.NewHandler on a
+	// loopback httptest listener — the same HTTP surface `make loadtest-http`
+	// drives against a live taser-serve process.
+	o.ServeClients = []int{2}
+	o.ServeRequests = 12
+	o.ServeIngestRate = 2000
+	if err := LoadHTTP(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"server ready", "clients", "qps", "ingested"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loadhttp output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -161,4 +161,9 @@ type TGNN interface {
 	HiddenDim() int
 	// Params exposes all trainable parameters.
 	Params() []*autograd.Var
+	// Clone returns an independent deep copy (same architecture, same
+	// current parameter values, fresh gradients) — what the online
+	// fine-tuner trains so the serving copy stays immutable between
+	// weight publications.
+	Clone() TGNN
 }

@@ -10,12 +10,13 @@ import (
 // link prediction: logit = MLP([h_u ‖ h_v]). Positive and negative edges
 // flow through the same decoder; BCE over the logits trains it (§II, §III-A).
 type EdgePredictor struct {
+	dim int // embedding width d (retained so Clone can rebuild the MLP)
 	mlp *nn.MLP
 }
 
 // NewEdgePredictor builds the decoder over embeddings of width d.
 func NewEdgePredictor(d int, rng *mathx.RNG) *EdgePredictor {
-	return &EdgePredictor{mlp: nn.NewMLP(2*d, d, 1, rng)}
+	return &EdgePredictor{dim: d, mlp: nn.NewMLP(2*d, d, 1, rng)}
 }
 
 // Score returns B×1 logits for B (src, dst) embedding row pairs.

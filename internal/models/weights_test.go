@@ -1,0 +1,89 @@
+package models
+
+import (
+	"testing"
+
+	"taser/internal/mathx"
+	"taser/internal/nn"
+)
+
+// TestCloneIsIndependent checks that Clone copies values but shares no
+// storage: stepping one copy's parameters leaves the other untouched, for
+// both backbones and the decoder.
+func TestCloneIsIndependent(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	tgat := NewTGAT(TGATConfig{NodeDim: 4, EdgeDim: 3, HiddenDim: 8, TimeDim: 4, Layers: 2, Budget: 5}, rng)
+	mixer := NewGraphMixer(GraphMixerConfig{NodeDim: 4, EdgeDim: 3, HiddenDim: 8, TimeDim: 4, Budget: 5}, rng)
+	pred := NewEdgePredictor(8, rng)
+
+	cases := []struct {
+		name string
+		src  nn.Module
+		cp   nn.Module
+	}{
+		{"tgat", tgat, tgat.Clone()},
+		{"graphmixer", mixer, mixer.Clone()},
+		{"predictor", pred, pred.Clone()},
+	}
+	for _, c := range cases {
+		sp, cpp := c.src.Params(), c.cp.Params()
+		if len(sp) != len(cpp) {
+			t.Fatalf("%s: clone has %d params, source %d", c.name, len(cpp), len(sp))
+		}
+		for i := range sp {
+			if &sp[i].Val.Data[0] == &cpp[i].Val.Data[0] {
+				t.Fatalf("%s: param %d shares storage with its clone", c.name, i)
+			}
+			for j, v := range sp[i].Val.Data {
+				if cpp[i].Val.Data[j] != v {
+					t.Fatalf("%s: param %d elem %d differs after clone", c.name, i, j)
+				}
+			}
+		}
+		// Mutate the clone; the source must not move.
+		before := sp[0].Val.Data[0]
+		cpp[0].Val.Data[0]++
+		if sp[0].Val.Data[0] != before {
+			t.Fatalf("%s: mutating the clone moved the source", c.name)
+		}
+	}
+}
+
+// TestWeightSetRoundTrip captures, perturbs the live model, reloads, and
+// checks the snapshot restored every value; Matches and LoadInto reject
+// mismatched architectures.
+func TestWeightSetRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	m := NewTGAT(TGATConfig{NodeDim: 4, EdgeDim: 0, HiddenDim: 6, TimeDim: 4, Layers: 1, Budget: 3}, rng)
+	p := NewEdgePredictor(6, rng)
+
+	w := CaptureWeights(5, m, p)
+	if w.Version != 5 {
+		t.Fatalf("version %d", w.Version)
+	}
+	if err := w.Matches(m, p); err != nil {
+		t.Fatal(err)
+	}
+	// Captured tensors are copies: scribbling on the model must not reach w.
+	orig := m.Params()[0].Val.Data[0]
+	for _, pr := range m.Params() {
+		pr.Val.Fill(42)
+	}
+	if w.Params[0].Data[0] == 42 && orig != 42 {
+		t.Fatal("capture aliases the live parameters")
+	}
+	if err := w.LoadInto(m, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Params()[0].Val.Data[0]; got != orig {
+		t.Fatalf("restored %v, want %v", got, orig)
+	}
+	// Architecture mismatches are rejected.
+	if err := w.Matches(m); err == nil {
+		t.Fatal("short module list accepted")
+	}
+	other := NewEdgePredictor(12, rng)
+	if err := w.LoadInto(m, other); err == nil {
+		t.Fatal("mismatched predictor accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes an engine behind the HTTP/JSON API cmd/taser-serve
+// mounts (and the HTTP load generator drives). Endpoints:
+//
+//	POST /v1/ingest   {"src":1,"dst":2,"t":123.5,"feat":[...]}   → {"events":N,"watermark":T}
+//	POST /v1/predict  {"src":1,"dst":2,"t":123.5}                → {"score":S,"version":V,"weights":W,"cached":B}
+//	POST /v1/embed    {"node":1,"t":123.5}                       → {"embedding":[...],"version":V,"weights":W,"cached":B}
+//	GET  /v1/stats                                               → engine counters and latency percentiles
+//
+// Out-of-order events are rejected with HTTP 409 and the current watermark
+// in the error body, so producers can resynchronize.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Src, Dst int32
+			T        float64
+			Feat     []float64
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := e.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrStaleEvent) {
+				code = http.StatusConflict
+			}
+			writeErr(w, code, err)
+			return
+		}
+		wm, _ := e.Watermark() // the event just admitted set it
+		writeJSON(w, map[string]any{"events": e.NumEvents(), "watermark": wm})
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Src, Dst int32
+			T        float64
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := e.PredictLink(req.Src, req.Dst, req.T)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"score": res.Score, "version": res.Version,
+			"weights": res.Weights, "cached": res.Cached,
+		})
+	})
+	mux.HandleFunc("POST /v1/embed", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Node int32
+			T    float64
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := e.Embed(req.Node, req.T)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"embedding": res.Embedding, "version": res.Version,
+			"weights": res.Weights, "cached": res.Cached,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := e.Stats()
+		liveWM, hasLiveWM := e.Watermark() // may be ahead of the snapshot's
+		writeJSON(w, map[string]any{
+			"live_watermark": liveWM, "has_live_watermark": hasLiveWM,
+			"requests": st.Requests, "batches": st.Batches,
+			"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
+			"cache_hits": st.CacheHits, "cache_stale": st.CacheStale, "cache_misses": st.CacheMisses,
+			"snapshot_version": st.SnapshotVersion,
+			"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
+			"events": st.Events, "nodes": e.cfg.NumNodes,
+			"weight_version": st.WeightVersion, "weight_swaps": st.WeightSwaps,
+			"avg_swap_us": st.AvgSwap.Microseconds(),
+			"p50_us":      st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+		})
+	})
+	return mux
+}
+
+// decode parses the JSON body into dst, writing a 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing useful left to do.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

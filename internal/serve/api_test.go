@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHandlerEndpoints exercises the HTTP/JSON surface end to end over a
+// real loopback listener: ingest (including the 409 stale contract), predict
+// and embed (including the served snapshot/weight versions), and stats.
+func TestHandlerEndpoints(t *testing.T) {
+	e, ds := newWeightTestEngine(t, 64)
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	post := func(path string, body map[string]any) (int, map[string]any) {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	wm, _ := e.Watermark()
+	code, out := post("/v1/ingest", map[string]any{"src": 1, "dst": 2, "t": wm + 1})
+	if code != http.StatusOK || out["watermark"].(float64) != wm+1 {
+		t.Fatalf("ingest: %d %v", code, out)
+	}
+	// Behind the watermark: 409 with the watermark in the error body.
+	code, out = post("/v1/ingest", map[string]any{"src": 1, "dst": 2, "t": wm - 10})
+	if code != http.StatusConflict || out["error"] == nil {
+		t.Fatalf("stale ingest: %d %v", code, out)
+	}
+
+	ev := ds.Graph.Events[0]
+	code, out = post("/v1/predict", map[string]any{"src": ev.Src, "dst": ev.Dst, "t": wm + 2})
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, out)
+	}
+	if out["version"].(float64) < 1 || out["weights"].(float64) != 1 {
+		t.Fatalf("predict versions: %v", out)
+	}
+	code, out = post("/v1/embed", map[string]any{"node": ev.Src, "t": wm + 2})
+	if code != http.StatusOK || len(out["embedding"].([]any)) == 0 {
+		t.Fatalf("embed: %d %v", code, out)
+	}
+
+	// Publish new weights; the HTTP surface reports the swap.
+	if err := e.PublishWeights(perturbed(e, 2, 1.2)); err != nil {
+		t.Fatal(err)
+	}
+	code, out = post("/v1/predict", map[string]any{"src": ev.Src, "dst": ev.Dst, "t": wm + 2})
+	if code != http.StatusOK || out["weights"].(float64) != 2 {
+		t.Fatalf("post-publish predict: %d %v", code, out)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["nodes"].(float64) != float64(ds.Spec.NumNodes) {
+		t.Fatalf("stats nodes: %v", st["nodes"])
+	}
+	if st["weight_version"].(float64) != 2 || st["weight_swaps"].(float64) != 1 {
+		t.Fatalf("stats weights: %v / %v", st["weight_version"], st["weight_swaps"])
+	}
+	// Malformed body: 400.
+	r2, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", r2.StatusCode)
+	}
+}

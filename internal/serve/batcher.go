@@ -45,6 +45,7 @@ type response struct {
 	emb     []float64 // embed requests: caller-owned copy
 	score   float64   // predict requests: link logit
 	version uint64    // snapshot version served
+	weights uint64    // weight version served
 	cached  bool      // every root was served from the embedding cache
 	err     error
 }
@@ -53,6 +54,7 @@ type response struct {
 type EmbedResult struct {
 	Embedding []float64
 	Version   uint64 // snapshot version the embedding was computed on
+	Weights   uint64 // weight version the embedding was computed under
 	Cached    bool
 }
 
@@ -60,7 +62,8 @@ type EmbedResult struct {
 type PredictResult struct {
 	Score   float64
 	Version uint64
-	Cached  bool // both endpoint embeddings came from the cache
+	Weights uint64 // weight version the logit was computed under
+	Cached  bool   // both endpoint embeddings came from the cache
 }
 
 // Embed returns node's embedding at query time t, micro-batched with
@@ -70,7 +73,7 @@ func (e *Engine) Embed(node int32, t float64) (EmbedResult, error) {
 	if err != nil {
 		return EmbedResult{}, err
 	}
-	return EmbedResult{Embedding: resp.emb, Version: resp.version, Cached: resp.cached}, nil
+	return EmbedResult{Embedding: resp.emb, Version: resp.version, Weights: resp.weights, Cached: resp.cached}, nil
 }
 
 // PredictLink returns the link-prediction logit for (src, dst) at query time
@@ -81,7 +84,7 @@ func (e *Engine) PredictLink(src, dst int32, t float64) (PredictResult, error) {
 	if err != nil {
 		return PredictResult{}, err
 	}
-	return PredictResult{Score: resp.score, Version: resp.version, Cached: resp.cached}, nil
+	return PredictResult{Score: resp.score, Version: resp.version, Weights: resp.weights, Cached: resp.cached}, nil
 }
 
 // submit validates, enqueues a pooled request, and waits. Once the scheduler
@@ -213,6 +216,25 @@ func (e *Engine) flush(pending []*request) {
 		}
 		e.builderVersion = snap.Version
 	}
+	// Pin a weight version for the whole micro-batch: if a fine-tuner
+	// published a newer immutable set, copy it into the serving parameters
+	// now, before any cache lookup or forward. The copy runs on the
+	// scheduler goroutine (the only writer and reader of these Vars), so
+	// publication never blocks a request and a request never observes a
+	// half-applied update.
+	if w := e.weights.Load(); w != nil && w.Version > e.weightVersion.Load() {
+		start := time.Now()
+		if err := w.LoadInto(e.cfg.Model, e.cfg.Pred); err != nil {
+			for _, r := range pending {
+				r.out <- response{err: err}
+			}
+			return
+		}
+		e.swapNanos.Add(int64(time.Since(start)))
+		e.weightVersion.Store(w.Version)
+		e.weightSwaps.Add(1)
+	}
+	wv := e.weightVersion.Load()
 
 	// Deduplicate roots: identical (node, t) pairs in one batch share a
 	// single embedding computation (Zipfian traffic makes this common).
@@ -248,7 +270,7 @@ func (e *Engine) flush(pending []*request) {
 			st.keyTs = math.Inf(-1)
 		}
 		st.cacheable = e.cache != nil && (!hasLast || t >= lastTs)
-		if st.cacheable && e.cache.get(node, st.keyTs, st.emb) {
+		if st.cacheable && e.cache.get(node, st.keyTs, wv, st.emb) {
 			st.cached = true
 		}
 		fs.index[k] = len(fs.states)
@@ -294,7 +316,7 @@ func (e *Engine) flush(pending []*request) {
 		e.builder.Release(mb)
 		for _, si := range fs.miss {
 			if st := &fs.states[si]; st.cacheable {
-				e.cache.put(st.node, st.keyTs, st.emb)
+				e.cache.put(st.node, st.keyTs, wv, st.emb)
 			}
 		}
 		e.batches.Add(1)
@@ -306,7 +328,7 @@ func (e *Engine) flush(pending []*request) {
 	scores := e.scorePairs(pending)
 
 	for i, r := range pending {
-		resp := response{version: snap.Version}
+		resp := response{version: snap.Version, weights: wv}
 		switch r.kind {
 		case reqEmbed:
 			// Copy: the response escapes to the caller, and deduplicated

@@ -51,6 +51,13 @@ var ErrStaleEvent = errors.New("serve: event behind ingest watermark")
 
 // Config wires a trained model into an online engine. Model and Pred are
 // typically taken from an offline train.Trainer after pretraining.
+//
+// Ownership: once any weight set is published (PublishWeights, or an
+// attached internal/finetune Tuner), the engine's scheduler writes into
+// Model/Pred parameters when it applies a swap — so an engine that will
+// receive weight publications must own its Model/Pred exclusively. Hand it
+// clones (models.TGNN.Clone, EdgePredictor.Clone) when the originals are
+// shared with a trainer, another engine, or a fine-tuner.
 type Config struct {
 	Model models.TGNN
 	Pred  *models.EdgePredictor
@@ -68,6 +75,12 @@ type Config struct {
 	CacheSize     int           // embedding-cache capacity in nodes (0 disables)
 	SnapshotEvery int           // publish a snapshot every k ingested events (default 256)
 	LatencyWindow int           // request latencies retained for the P50/P99 stats (default 4096)
+
+	// Online fine-tuning hints, consumed by internal/finetune when a Tuner
+	// is attached to this engine (the engine itself only stores them; weight
+	// publication works with or without a tuner via PublishWeights).
+	FinetuneInterval time.Duration // cadence of fine-tune rounds (0 = finetune default)
+	ReplayWindow     int           // recent events replayed per round (0 = finetune default)
 
 	Seed uint64
 	Xfer *device.XferStats // optional transfer accounting shared with offline runs
@@ -166,6 +179,17 @@ type Engine struct {
 	cache          *embCache
 	fs             flushScratch // per-flush working set, reused across flushes
 
+	// Weight publication (DESIGN.md §8): a fine-tuner stores immutable
+	// versioned WeightSets into weights; the scheduler notices the pointer
+	// change at the top of a flush and copies the values into the serving
+	// model/predictor parameters — which only the scheduler goroutine ever
+	// touches — so a whole micro-batch runs under one pinned weight version
+	// and publication never blocks serving (nor serving, publication).
+	weights       atomic.Pointer[models.WeightSet]
+	weightVersion atomic.Uint64 // version currently applied (scheduler writes)
+	weightSwaps   atomic.Uint64 // swaps performed
+	swapNanos     atomic.Int64  // cumulative time spent copying weights in
+
 	reqs      chan *request
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -207,6 +231,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.CacheSize > 0 {
 		e.cache = newEmbCache(cfg.CacheSize, cfg.Model.HiddenDim())
 	}
+	e.weightVersion.Store(1) // version 1: the weights the engine was built with
 	e.lat.init(cfg.LatencyWindow)
 	e.wg.Add(1)
 	go e.loop()
@@ -292,6 +317,54 @@ func (e *Engine) PublishSnapshot() *Snapshot {
 // Pin returns the current published snapshot. The result is immutable and
 // remains valid indefinitely; holding it is what "pinning" means.
 func (e *Engine) Pin() *Snapshot { return e.snap.Load() }
+
+// PublishWeights offers an immutable parameter snapshot to the serving path.
+// The scheduler applies it at the start of its next flush, so every
+// micro-batch runs under exactly one weight version and in-flight batches
+// are never retroactively perturbed. Publication is lock-free on both
+// sides: the publisher performs a shape check and an atomic store; the
+// scheduler's apply is a plain parameter copy on its own goroutine.
+//
+// Sets must be captured from the same architecture the engine serves
+// (models.CaptureWeights over (Model, Pred) in that order) and must carry a
+// version newer than the currently applied one; older or duplicate versions
+// are dropped so a slow publisher can never roll serving backwards. The
+// caller must not mutate w after publishing.
+func (e *Engine) PublishWeights(w *models.WeightSet) error {
+	if w == nil {
+		return fmt.Errorf("serve: PublishWeights(nil)")
+	}
+	if err := w.Matches(e.cfg.Model, e.cfg.Pred); err != nil {
+		return fmt.Errorf("serve: published weights do not fit the serving model: %w", err)
+	}
+	// CAS loop against the latest *published* set (which may be ahead of the
+	// applied version when no flush has run yet), so a slower publisher can
+	// neither clobber a newer pending set nor sneak in behind the applied
+	// version — monotonicity holds under concurrent publishers.
+	for {
+		cur := e.weights.Load()
+		latest := e.weightVersion.Load()
+		if cur != nil && cur.Version > latest {
+			latest = cur.Version
+		}
+		if w.Version <= latest {
+			return fmt.Errorf("serve: weight version %d not newer than version %d", w.Version, latest)
+		}
+		if e.weights.CompareAndSwap(cur, w) {
+			return nil
+		}
+	}
+}
+
+// WeightVersion reports the weight version currently applied to the serving
+// model (1 until the first published set is swapped in).
+func (e *Engine) WeightVersion() uint64 { return e.weightVersion.Load() }
+
+// FinetuneHints returns the Config's fine-tuning knobs for an attached
+// tuner (zero values mean "use the tuner's defaults").
+func (e *Engine) FinetuneHints() (interval time.Duration, replayWindow int) {
+	return e.cfg.FinetuneInterval, e.cfg.ReplayWindow
+}
 
 // Watermark reports the ingest watermark (which may be ahead of the latest
 // published snapshot's) and whether any event has been ingested. ok is false

@@ -58,6 +58,10 @@ type Stats struct {
 	HasWatermark    bool    // false until the first event reaches a published snapshot
 	Events          int     // events in the latest published snapshot
 
+	WeightVersion uint64        // weight version applied to the serving model
+	WeightSwaps   uint64        // published weight sets swapped in so far
+	AvgSwap       time.Duration // mean time the scheduler spent applying one set
+
 	P50, P99 time.Duration // over the recent-latency window
 }
 
@@ -81,11 +85,16 @@ func (s Stats) AvgBatch() float64 {
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Requests: e.requests.Load(),
-		Batches:  e.batches.Load(),
-		Roots:    e.roots.Load(),
-		P50:      e.lat.quantile(0.50),
-		P99:      e.lat.quantile(0.99),
+		Requests:      e.requests.Load(),
+		Batches:       e.batches.Load(),
+		Roots:         e.roots.Load(),
+		WeightVersion: e.weightVersion.Load(),
+		WeightSwaps:   e.weightSwaps.Load(),
+		P50:           e.lat.quantile(0.50),
+		P99:           e.lat.quantile(0.99),
+	}
+	if s.WeightSwaps > 0 {
+		s.AvgSwap = time.Duration(e.swapNanos.Load() / int64(s.WeightSwaps))
 	}
 	if e.cache != nil {
 		s.CacheHits, s.CacheStale, s.CacheMisses = e.cache.counts()

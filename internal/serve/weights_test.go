@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"taser/internal/datasets"
+	"taser/internal/models"
+	"taser/internal/sampler"
+	"taser/internal/train"
+)
+
+// newWeightTestEngine builds a small bootstrapped engine whose Model/Pred
+// are private clones, so weight swaps never touch state shared with other
+// tests.
+func newWeightTestEngine(t *testing.T, cacheSize int) (*Engine, *datasets.Dataset) {
+	t.Helper()
+	ds := datasets.Wikipedia(0.05, 7)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 10, TimeDim: 6, Seed: 5,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: tr.Model.Clone(), Pred: tr.Pred.Clone(),
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: 5, Policy: sampler.MostRecent, CacheSize: cacheSize,
+		MaxBatch: 8, MaxWait: 100 * time.Microsecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	if err := e.Bootstrap(ds.Graph.Events[:ds.TrainEnd], ds.EdgeFeat.SliceRows(ds.TrainEnd)); err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+// perturbed captures the engine's current weights as version v with every
+// tensor scaled, standing in for a fine-tuner's update.
+func perturbed(e *Engine, v uint64, scale float64) *models.WeightSet {
+	w := models.CaptureWeights(v, e.cfg.Model, e.cfg.Pred)
+	for _, m := range w.Params {
+		m.ScaleInPlace(scale)
+	}
+	return w
+}
+
+// TestPublishWeightsSwapsAndInvalidatesCache is the regression test for the
+// weight-versioned embedding cache: an embedding cached under the old
+// weights must never be served after a publication, with no explicit
+// invalidation — the (node, lastTs, weightVersion) key stops matching.
+func TestPublishWeightsSwapsAndInvalidatesCache(t *testing.T) {
+	e, ds := newWeightTestEngine(t, 64)
+	wm, _ := e.Watermark()
+	qt := wm + 1
+	node := ds.Graph.Events[0].Src
+
+	r1, err := e.Embed(node, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Weights != 1 {
+		t.Fatalf("initial weight version %d, want 1", r1.Weights)
+	}
+	r2, err := e.Embed(node, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second embed of an untouched node should hit the cache")
+	}
+
+	if err := e.PublishWeights(perturbed(e, 2, 1.25)); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e.Embed(node, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Weights != 2 {
+		t.Fatalf("post-publish weight version %d, want 2", r3.Weights)
+	}
+	if r3.Cached {
+		t.Fatal("embedding computed under v1 weights was served from cache after the v2 swap")
+	}
+	same := true
+	for i, v := range r3.Embedding {
+		if v != r1.Embedding[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("v2 embedding is bitwise-identical to v1 — the new weights were not applied")
+	}
+
+	// The recomputed embedding is cacheable under the new version…
+	r4, err := e.Embed(node, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Cached || r4.Weights != 2 {
+		t.Fatalf("re-embed under v2: cached=%v weights=%d, want cached under v2", r4.Cached, r4.Weights)
+	}
+	st := e.Stats()
+	if st.WeightVersion != 2 || st.WeightSwaps != 1 {
+		t.Fatalf("stats: version %d swaps %d, want 2 and 1", st.WeightVersion, st.WeightSwaps)
+	}
+}
+
+// TestPublishWeightsValidation covers the publisher-side guard rails:
+// architecture mismatches and non-monotonic versions are rejected without
+// disturbing serving.
+func TestPublishWeightsValidation(t *testing.T) {
+	e, _ := newWeightTestEngine(t, 0)
+	if err := e.PublishWeights(nil); err == nil {
+		t.Fatal("nil weight set accepted")
+	}
+	// Model-only capture is missing the predictor tensors.
+	if err := e.PublishWeights(models.CaptureWeights(2, e.cfg.Model)); err == nil {
+		t.Fatal("short weight set accepted")
+	}
+	// Version 1 is already applied; an equal-or-older publish must bounce.
+	if err := e.PublishWeights(models.CaptureWeights(1, e.cfg.Model, e.cfg.Pred)); err == nil {
+		t.Fatal("stale weight version accepted")
+	}
+	if err := e.PublishWeights(perturbed(e, 2, 1.1)); err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := e.Watermark()
+	if _, err := e.Embed(0, wm+1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.WeightVersion(); got != 2 {
+		t.Fatalf("applied version %d, want 2", got)
+	}
+	if err := e.PublishWeights(perturbed(e, 2, 1.1)); err == nil {
+		t.Fatal("duplicate weight version accepted after swap")
+	}
+	// A pending (published but not yet applied) newer set must not be
+	// clobbered by a late older publish: v5 is pending, v4 must bounce even
+	// though the applied version is still 2.
+	if err := e.PublishWeights(perturbed(e, 5, 1.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PublishWeights(perturbed(e, 4, 1.1)); err == nil {
+		t.Fatal("older publish clobbered a pending newer weight set")
+	}
+	wm, _ = e.Watermark()
+	if _, err := e.Embed(0, wm+1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.WeightVersion(); got != 5 {
+		t.Fatalf("applied version %d, want 5", got)
+	}
+}
+
+// TestPredictPinsOneWeightVersionPerBatch checks the consistency bound a
+// served response advertises: predictions report the weight version they
+// were computed under, and scores within one version are reproducible after
+// the engine has moved on to a newer version is *not* required — but the
+// same version must yield the same score while it is current.
+func TestPredictPinsOneWeightVersionPerBatch(t *testing.T) {
+	e, ds := newWeightTestEngine(t, 0)
+	wm, _ := e.Watermark()
+	qt := wm + 1
+	ev := ds.Graph.Events[0]
+
+	r1, err := e.PredictLink(ev.Src, ev.Dst, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.PredictLink(ev.Src, ev.Dst, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Weights != r2.Weights || r1.Score != r2.Score {
+		t.Fatalf("same version, different scores: v%d %v vs v%d %v", r1.Weights, r1.Score, r2.Weights, r2.Score)
+	}
+	if err := e.PublishWeights(perturbed(e, 7, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e.PredictLink(ev.Src, ev.Dst, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Weights != 7 {
+		t.Fatalf("post-publish predict served v%d, want 7", r3.Weights)
+	}
+	if r3.Score == r1.Score {
+		t.Fatal("score unchanged across a weight swap that scaled every parameter")
+	}
+}

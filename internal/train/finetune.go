@@ -1,0 +1,167 @@
+package train
+
+import (
+	"fmt"
+
+	"taser/internal/mathx"
+	"taser/internal/models"
+	"taser/internal/nn"
+	"taser/internal/sampler"
+	"taser/internal/tensor"
+	"taser/internal/tgraph"
+)
+
+// FineTuneConfig binds a FineTuner to a model pair and a graph. Model and
+// Pred are cloned at construction: the fine-tuner trains its own copies, so
+// the originals (typically the ones a serving engine forwards with) are
+// never written concurrently with reads.
+type FineTuneConfig struct {
+	Model models.TGNN           // pretrained backbone (cloned, not mutated)
+	Pred  *models.EdgePredictor // pretrained decoder (cloned, not mutated)
+	Infer InferConfig           // graph + build-path binding (Layers filled from Model)
+
+	LR       float64 // Adam learning rate (default 1e-4: gentler than pretraining)
+	ClipNorm float64 // gradient clipping by global norm (default 5, as offline)
+
+	NumNodes int // negative-sampling id space
+	NumSrc   int // bipartite: negatives drawn from [NumSrc, NumNodes); 0 = any node
+	Seed     uint64
+}
+
+// FineTuner runs continual-learning steps on streamed events: the same
+// self-supervised link-prediction objective, forward–backward and Adam
+// update as one offline Trainer step, but assembled through the pooled
+// InferenceBuilder against an arbitrary (typically live-serving) adjacency
+// snapshot instead of a frozen dataset. One online Step on the same events,
+// graph and starting parameters is bitwise-equal to the offline TrainStep
+// (TestFinetuneStepMatchesOfflineTrainStep).
+//
+// Like the InferenceBuilder it owns, a FineTuner is single-goroutine state:
+// the online fine-tuning loop (internal/finetune) serializes Step, SwapGraph
+// and Capture on its own goroutine.
+type FineTuner struct {
+	cfg     FineTuneConfig
+	model   models.TGNN
+	pred    *models.EdgePredictor
+	builder *InferenceBuilder
+	opt     *nn.Adam
+	rng     *mathx.RNG
+
+	// Step scratch, reused across steps (the step envelope allocates O(1)
+	// amortized once the builder pool and graph arena are warm).
+	roots          []sampler.Target
+	srcIdx, dstIdx []int32
+	labels         []float64
+}
+
+// NewFineTuner clones cfg.Model/cfg.Pred and binds the pooled build path to
+// cfg.Infer's graph. Infer.Layers is overridden by the model's own depth.
+func NewFineTuner(cfg FineTuneConfig) (*FineTuner, error) {
+	if cfg.Model == nil || cfg.Pred == nil {
+		return nil, fmt.Errorf("train: FineTuneConfig needs Model and Pred")
+	}
+	if cfg.NumNodes <= 0 {
+		return nil, fmt.Errorf("train: FineTuneConfig.NumNodes must be positive")
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-4
+	}
+	if cfg.ClipNorm == 0 {
+		cfg.ClipNorm = 5
+	}
+	cfg.Infer.Layers = cfg.Model.NumLayers()
+	if cfg.Infer.Seed == 0 {
+		cfg.Infer.Seed = cfg.Seed
+	}
+	ft := &FineTuner{
+		cfg:   cfg,
+		model: cfg.Model.Clone(),
+		pred:  cfg.Pred.Clone(),
+		rng:   mathx.NewRNG(cfg.Seed),
+	}
+	b, err := NewInferenceBuilder(cfg.Infer)
+	if err != nil {
+		return nil, err
+	}
+	ft.builder = b
+	params := append(ft.model.Params(), ft.pred.Params()...)
+	ft.opt = nn.NewAdam(params, cfg.LR)
+	ft.opt.ClipNorm = cfg.ClipNorm
+	return ft, nil
+}
+
+// Model returns the fine-tuner's own (mutating) model copy.
+func (f *FineTuner) Model() models.TGNN { return f.model }
+
+// Pred returns the fine-tuner's own (mutating) decoder copy.
+func (f *FineTuner) Pred() *models.EdgePredictor { return f.pred }
+
+// SwapGraph retargets the build path at a new adjacency snapshot; the buffer
+// pool, arena graph and optimizer state all survive the swap (see
+// InferenceBuilder.SwapGraph).
+func (f *FineTuner) SwapGraph(tcsr tgraph.Adjacency, edgeFeat *tensor.Matrix) error {
+	return f.builder.SwapGraph(tcsr, edgeFeat)
+}
+
+// Capture snapshots the fine-tuner's current parameters as an immutable
+// versioned WeightSet, ready for lock-free publication into a serving
+// engine.
+func (f *FineTuner) Capture(version uint64) *models.WeightSet {
+	return models.CaptureWeights(version, f.model, f.pred)
+}
+
+// negativeDst mirrors Trainer.negativeDst: a uniform destination from the
+// destination partition (or any node for general graphs).
+func (f *FineTuner) negativeDst() int32 {
+	lo := f.cfg.NumSrc
+	return int32(lo + f.rng.Intn(f.cfg.NumNodes-lo))
+}
+
+// Step runs one fine-tune iteration on a batch of streamed events: roots
+// [srcs | dsts | negatives] at the events' own timestamps, one pooled build,
+// one forward–backward on the builder's reusable arena graph, BCE over
+// positive and negative pairs, and one Adam update on the fine-tuner's
+// parameter copies. negs supplies the negative destinations explicitly
+// (len(events)); nil draws them from the fine-tuner's RNG in batch order,
+// exactly as the offline loop draws them. Returns the batch loss.
+func (f *FineTuner) Step(events []tgraph.Event, negs []int32) float64 {
+	b := len(events)
+	if b == 0 {
+		return 0
+	}
+	if negs != nil && len(negs) != b {
+		panic(fmt.Sprintf("train: FineTuner.Step got %d negatives for %d events", len(negs), b))
+	}
+	f.roots = grow(f.roots, 3*b)
+	for i, ev := range events {
+		neg := int32(0)
+		if negs != nil {
+			neg = negs[i]
+		} else {
+			neg = f.negativeDst()
+		}
+		f.roots[i] = sampler.Target{Node: ev.Src, Time: ev.Time}
+		f.roots[b+i] = sampler.Target{Node: ev.Dst, Time: ev.Time}
+		f.roots[2*b+i] = sampler.Target{Node: neg, Time: ev.Time}
+	}
+
+	mb := f.builder.Build(f.roots)
+	g := f.builder.Graph()
+	emb, _ := f.model.Forward(g, mb)
+
+	f.srcIdx = grow(f.srcIdx, 2*b)
+	f.dstIdx = grow(f.dstIdx, 2*b)
+	f.labels = grow(f.labels, 2*b)
+	for i := 0; i < b; i++ {
+		f.srcIdx[i], f.dstIdx[i], f.labels[i] = int32(i), int32(b+i), 1 // positive
+		f.srcIdx[b+i], f.dstIdx[b+i], f.labels[b+i] = int32(i), int32(2*b+i), 0
+	}
+	logits := f.pred.ScoreGathered(g, emb, f.srcIdx, f.dstIdx)
+	lossVar := g.BCEWithLogits(logits, f.labels)
+	loss := lossVar.Val.Data[0]
+	g.Backward(lossVar)
+	f.opt.Step()
+	f.opt.ZeroGrad()
+	f.builder.Release(mb)
+	return loss
+}
