@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune vet serve loadtest loadtest-http
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover vet serve loadtest loadtest-http
 
 all: build test
 
@@ -32,8 +32,10 @@ bench-full:
 
 # Online inference: pretrain briefly, then serve the HTTP/JSON API
 # (see cmd/taser-serve for endpoints and DESIGN.md §5 for the architecture).
+# Set WAL_DIR=/path to serve durably: every ingested event is write-ahead
+# logged and the engine recovers the stream on restart (DESIGN.md §9).
 serve:
-	$(GO) run ./cmd/taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080
+	$(GO) run ./cmd/taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080 $(if $(WAL_DIR),-wal-dir $(WAL_DIR))
 
 # Closed-loop load test of the serving subsystem (in-process, no HTTP):
 # Zipfian request mix + streaming ingest; reports p50/p99, QPS, hit rate.
@@ -55,6 +57,12 @@ bench-alloc:
 # MRR, with weight publication measured as non-blocking (see DESIGN.md §8).
 bench-finetune:
 	$(GO) run ./cmd/taser-bench -exp finetune
+
+# Durability: recovery time vs stream length (crash = pure WAL replay,
+# clean = checkpoint load) and durable-ingest overhead (group commit vs
+# fsync-per-event) — see DESIGN.md §9 and EXPERIMENTS.md.
+bench-recover:
+	$(GO) run ./cmd/taser-bench -exp recover
 
 # HTTP-mode load test: build taser-serve and taser-bench, start a real server
 # (short pretraining at small scale), drive /v1/ingest + /v1/predict +

@@ -8,7 +8,8 @@
 //	taser-bench -exp all
 //
 // Experiments: table1, table2, table3, fig1, fig3a, fig3b, fig4,
-// ablation-encoder, ablation-decoder, ablation-cache, pipeline, serve, all.
+// ablation-encoder, ablation-decoder, ablation-cache, pipeline, serve,
+// ingest, alloc, finetune, recover, all.
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|loadhttp|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|recover|loadhttp|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -37,6 +38,8 @@ func main() {
 		ingEvents  = flag.String("ingest-events", "", "ingest: comma-separated stream lengths (default 8192,16384,32768,65536)")
 		ingEvery   = flag.Int("ingest-every", 0, "ingest: events per snapshot publication (default 256)")
 		ingNodes   = flag.Int("ingest-nodes", 0, "ingest: node-id space of the synthetic stream (default 2000)")
+		recEvents  = flag.String("recover-events", "", "recover: comma-separated stream lengths (default 1024,4096,16384)")
+		recSync    = flag.Int("recover-sync-every", 0, "recover: WAL group-commit interval (default 64)")
 		ftEvery    = flag.Int("finetune-every", 0, "finetune: drifted events per fine-tune round (default 96)")
 		ftNegs     = flag.Int("finetune-negs", 0, "finetune: negatives per prequential MRR eval (default 19)")
 		ftLR       = flag.Float64("finetune-lr", 0, "finetune: fine-tuning learning rate (default 3e-4)")
@@ -51,7 +54,8 @@ func main() {
 		BatchSize: *batch, Seed: *seed, MaxEvalEdges: *evalEdges,
 		ServeRequests: *srvReqs, ServeIngestRate: *srvIngest,
 		IngestEvery: *ingEvery, IngestNodes: *ingNodes,
-		FinetuneEvery: *ftEvery, FinetuneNegs: *ftNegs, FinetuneLR: *ftLR,
+		RecoverSyncEvery: *recSync,
+		FinetuneEvery:    *ftEvery, FinetuneNegs: *ftNegs, FinetuneLR: *ftLR,
 		FinetunePasses: *ftPasses,
 		ServeAddr:      *srvAddr, ServeWait: *srvWait,
 	}
@@ -75,6 +79,7 @@ func main() {
 	}
 	opts.ServeClients = parseInts("-serve-clients", *srvClients)
 	opts.IngestEvents = parseInts("-ingest-events", *ingEvents)
+	opts.RecoverEvents = parseInts("-recover-events", *recEvents)
 
 	experiments := map[string]func(bench.Options) error{
 		"table1":              bench.Table1,
@@ -93,11 +98,12 @@ func main() {
 		"ingest":              bench.Ingest,
 		"alloc":               bench.Alloc,
 		"finetune":            bench.Finetune,
+		"recover":             bench.Recover,
 		"loadhttp":            bench.LoadHTTP, // excluded from `all`: meant for a live server (self-hosts when -serve-addr is empty)
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve", "ingest", "alloc", "finetune"}
+		"pipeline", "serve", "ingest", "alloc", "finetune", "recover"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -9,7 +9,13 @@
 //
 // Usage:
 //
-//	taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080 [-finetune]
+//	taser-serve -dataset wikipedia -scale 0.1 -epochs 2 -addr :8080 [-finetune] [-wal-dir DIR]
+//
+// With -wal-dir the engine write-ahead-logs every ingested event and pairs
+// published weights with checkpoints; on restart it recovers the stream
+// (checkpoint + WAL replay) instead of re-bootstrapping, so the process picks
+// up where the previous one crashed — losing at most the unsynced WAL tail,
+// bounded by -wal-sync-every events.
 //
 // Endpoints (all JSON; see serve.NewHandler):
 //
@@ -57,6 +63,11 @@ func main() {
 		latWindow = flag.Int("latency-window", 0, "request latencies retained for P50/P99 stats (0 = default 4096)")
 		replay    = flag.Bool("replay", false, "replay the val/test split through ingest at startup")
 
+		walDir    = flag.String("wal-dir", "", "durable store directory: WAL + checkpoints (empty = durability off)")
+		walSync   = flag.Int("wal-sync-every", 0, "events per WAL group commit (0 = serve default 64; 1 = fsync every event)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "events between periodic checkpoints (0 = only on weight publication, bootstrap and shutdown)")
+		doRecover = flag.Bool("recover", true, "recover the stream from -wal-dir at startup (checkpoint + WAL replay)")
+
 		ftOn       = flag.Bool("finetune", false, "attach the online fine-tuner (continual learning from the ingest stream)")
 		ftInterval = flag.Duration("finetune-interval", 0, "fine-tune round cadence (0 = finetune default)")
 		ftWindow   = flag.Int("replay-window", 0, "recent events replayed per fine-tune round (0 = finetune default)")
@@ -91,23 +102,45 @@ func main() {
 		MaxBatch: *maxBatch, MaxWait: *maxWait,
 		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, LatencyWindow: *latWindow,
 		FinetuneInterval: *ftInterval, ReplayWindow: *ftWindow,
-		Seed: *seed,
+		Durability: serve.Durability{Dir: *walDir, SyncEvery: *walSync, CheckpointEvery: *ckptEvery},
+		Seed:       *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
 		os.Exit(1)
 	}
 
-	// Bootstrap with the training split; the rest of the stream arrives via
-	// /v1/ingest (or -replay for a self-contained demo).
-	feats := ds.EdgeFeat
-	if err := engine.Bootstrap(ds.Graph.Events[:ds.TrainEnd], feats.SliceRows(ds.TrainEnd)); err != nil {
-		fmt.Fprintf(os.Stderr, "taser-serve: bootstrap: %v\n", err)
-		os.Exit(1)
+	// Recover the stream from the durable store when one exists; otherwise
+	// bootstrap with the training split. The rest of the stream arrives via
+	// /v1/ingest (or -replay for a self-contained demo). A recovered store
+	// already contains the bootstrap prefix (Bootstrap WAL-logs its events),
+	// so re-bootstrapping would double-ingest it.
+	recovered := false
+	if *walDir != "" && *doRecover {
+		rep, err := engine.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: recover: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.HasWatermark {
+			recovered = true
+			fmt.Printf("recovered %d events (checkpoint %d + replay %d, healed %d) to watermark t=%v, weights v%d in %v\n",
+				rep.CheckpointEvents+rep.ReplayedEvents, rep.CheckpointEvents, rep.ReplayedEvents,
+				rep.HealedEvents, rep.Watermark, rep.WeightVersion, rep.Duration.Round(time.Millisecond))
+		} else {
+			fmt.Printf("durable store %s is empty: fresh start\n", *walDir)
+		}
 	}
-	wm, _ := engine.Watermark()
-	fmt.Printf("bootstrapped %d events (watermark t=%v)\n", ds.TrainEnd, wm)
-	if *replay {
+	feats := ds.EdgeFeat
+	if !recovered {
+		if err := engine.Bootstrap(ds.Graph.Events[:ds.TrainEnd], feats.SliceRows(ds.TrainEnd)); err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: bootstrap: %v\n", err)
+			os.Exit(1)
+		}
+		wm, _ := engine.Watermark()
+		fmt.Printf("bootstrapped %d events (watermark t=%v)\n", ds.TrainEnd, wm)
+	}
+	if *replay && !recovered {
 		for i := ds.TrainEnd; i < len(ds.Graph.Events); i++ {
 			ev := ds.Graph.Events[i]
 			var row []float64
@@ -162,7 +195,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "taser-serve: fine-tuner stopped early: %s\n", st.Failed)
 			}
 		}
-		engine.Close()
+		engine.Close() // flushes the WAL and writes the final checkpoint
+		if st := engine.Stats(); st.Durable {
+			fmt.Printf("durable store: %d events logged (%d synced, %d fsync batches, %d segments), %d checkpoints (last covers %d events, %d failed)\n",
+				st.WALAppended, st.WALSynced, st.WALSyncs, st.WALSegments,
+				st.Checkpoints, st.CheckpointEvents, st.CheckpointFails)
+		}
 	}
 	select {
 	case err := <-errc: // listener failed before any signal

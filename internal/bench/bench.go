@@ -56,6 +56,11 @@ type Options struct {
 	FinetuneLR     float64 // fine-tuning learning rate (default 3e-4)
 	FinetunePasses int     // replay passes per round (default 4)
 
+	// Recovery experiment knobs (-exp recover); zero values pick the
+	// defaults documented in Recover.
+	RecoverEvents    []int // stream lengths per Table A row (default 1024,4096,16384)
+	RecoverSyncEvery int   // WAL group-commit interval (default 64)
+
 	// HTTP load-generator knobs (-exp loadhttp). Empty ServeAddr self-hosts
 	// an in-process HTTP server; otherwise the generator drives a live
 	// taser-serve at that base URL (e.g. http://127.0.0.1:8080).

@@ -191,6 +191,22 @@ func TestFinetuneSmoke(t *testing.T) {
 	}
 }
 
+func TestRecoverSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.RecoverEvents = []int{192}
+	o.RecoverSyncEvery = 16
+	if err := Recover(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Recovery time", "crash", "clean", "Durable ingest overhead", "sync-every=1", "allocs/event"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recover output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestLoadHTTPSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	o := tinyOptions(&buf)

@@ -164,4 +164,3 @@ func serveRow(o Options, numNodes, edgeDim int, tr *train.Trainer, clients, cach
 		float64(st.P50.Microseconds())/1000, float64(st.P99.Microseconds())/1000,
 		st.AvgBatch(), 100*st.CacheHitRate(), st.SnapshotVersion, ingested.Load()), nil
 }
-

@@ -10,6 +10,13 @@
 // (serve.Engine.PublishWeights) — so fine-tuning never blocks prediction and
 // every served micro-batch runs under exactly one weight version. See
 // DESIGN.md §8 for the lifecycle and consistency bounds.
+//
+// When the engine is durable (serve.Durability, DESIGN.md §9), each accepted
+// publication also writes a checkpoint pairing the fine-tuned weights with
+// the stream prefix they serve, so a restarted engine recovers straight to
+// the latest fine-tuned version instead of the pretrained weights; the Tuner
+// needs no changes for this — checkpoint failures are absorbed by the engine
+// (counted in serve.Stats) and never surface through PublishWeights.
 package finetune
 
 import (

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"math"
 	"testing"
 
 	"taser/internal/mathx"
@@ -85,5 +86,81 @@ func TestWeightSetRoundTrip(t *testing.T) {
 	other := NewEdgePredictor(12, rng)
 	if err := w.LoadInto(m, other); err == nil {
 		t.Fatal("mismatched predictor accepted")
+	}
+}
+
+// TestWeightSetBinaryRoundTrip encodes a captured set and decodes it back:
+// every parameter must be bitwise-equal, the version preserved, and the
+// decoder must report exactly the bytes it consumed even with trailing data.
+func TestWeightSetBinaryRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	m := NewTGAT(TGATConfig{NodeDim: 4, EdgeDim: 2, HiddenDim: 6, TimeDim: 4, Layers: 2, Budget: 3}, rng)
+	p := NewEdgePredictor(6, rng)
+	w := CaptureWeights(7, m, p)
+
+	enc := w.AppendBinary(nil)
+	got, consumed, err := DecodeWeightSet(append(enc, 0xAB, 0xCD)) // trailing junk ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(enc) {
+		t.Fatalf("consumed %d bytes, want %d", consumed, len(enc))
+	}
+	if got.Version != 7 {
+		t.Fatalf("version %d, want 7", got.Version)
+	}
+	if len(got.Params) != len(w.Params) {
+		t.Fatalf("%d tensors, want %d", len(got.Params), len(w.Params))
+	}
+	for i, src := range w.Params {
+		dec := got.Params[i]
+		if dec.Rows != src.Rows || dec.Cols != src.Cols {
+			t.Fatalf("tensor %d shape %dx%d, want %dx%d", i, dec.Rows, dec.Cols, src.Rows, src.Cols)
+		}
+		for j, v := range src.Data {
+			if math.Float64bits(dec.Data[j]) != math.Float64bits(v) {
+				t.Fatalf("tensor %d elem %d: %v != %v (not bitwise equal)", i, j, dec.Data[j], v)
+			}
+		}
+	}
+	// The decoded set must load into a matching architecture.
+	if err := got.LoadInto(m, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// AppendBinary composes: two sets in one buffer decode back to back.
+	w2 := CaptureWeights(8, m, p)
+	both := w2.AppendBinary(w.AppendBinary(nil))
+	first, n, err := DecodeWeightSet(both)
+	if err != nil || first.Version != 7 {
+		t.Fatalf("first set: v%d err %v", first.Version, err)
+	}
+	second, _, err := DecodeWeightSet(both[n:])
+	if err != nil || second.Version != 8 {
+		t.Fatalf("second set: err %v", err)
+	}
+}
+
+// TestWeightSetBinaryRejectsCorruption flips every byte position in turn and
+// checks the checksum (or a structural bound) rejects the payload — no bit
+// flip may yield a silently different weight set.
+func TestWeightSetBinaryRejectsCorruption(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	m := NewTGAT(TGATConfig{NodeDim: 3, EdgeDim: 0, HiddenDim: 4, TimeDim: 2, Layers: 1, Budget: 2}, rng)
+	w := CaptureWeights(3, m, NewEdgePredictor(4, rng))
+	enc := w.AppendBinary(nil)
+
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeWeightSet(bad); err == nil {
+			t.Fatalf("flipped byte %d of %d accepted", i, len(enc))
+		}
+	}
+	// Truncation at any boundary is rejected too.
+	for _, cut := range []int{0, 3, 15, len(enc) / 2, len(enc) - 1} {
+		if _, _, err := DecodeWeightSet(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
 	}
 }

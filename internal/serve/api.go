@@ -30,8 +30,13 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		if err := e.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrStaleEvent) {
+			switch {
+			case errors.Is(err, ErrStaleEvent):
 				code = http.StatusConflict
+			case errors.Is(err, ErrDurability):
+				// The durable store failed; the event was not admitted and
+				// the engine will not admit more until restarted.
+				code = http.StatusServiceUnavailable
 			}
 			writeErr(w, code, err)
 			return
@@ -87,8 +92,14 @@ func NewHandler(e *Engine) http.Handler {
 			"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
 			"events": st.Events, "nodes": e.cfg.NumNodes,
 			"weight_version": st.WeightVersion, "weight_swaps": st.WeightSwaps,
-			"avg_swap_us": st.AvgSwap.Microseconds(),
-			"p50_us":      st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+			"avg_swap_us":  st.AvgSwap.Microseconds(),
+			"durable":      st.Durable,
+			"wal_appended": st.WALAppended, "wal_synced": st.WALSynced,
+			"wal_syncs": st.WALSyncs, "wal_segments": st.WALSegments,
+			"wal_failures": st.WALFailures,
+			"checkpoints":  st.Checkpoints, "checkpoint_fails": st.CheckpointFails,
+			"checkpoint_events": st.CheckpointEvents,
+			"p50_us":            st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		})
 	})
 	return mux

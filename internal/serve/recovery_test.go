@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"taser/internal/datasets"
+	"taser/internal/sampler"
+	"taser/internal/tgraph"
+	"taser/internal/train"
+	"taser/internal/wal"
+)
+
+// newRecoveryEngine builds an engine over ds with durability configured and
+// nothing ingested — the shape Recover requires. The trainer seed matches
+// newTestEngine, so every engine built from the same dataset starts from
+// bitwise-identical pretrained weights (train.New only initializes; it is
+// deterministic in (config, dataset)).
+func newRecoveryEngine(t testing.TB, ds *datasets.Dataset, dur Durability) *Engine {
+	t.Helper()
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 12, TimeDim: 6, BatchSize: 32, Seed: 11,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: tr.Model, Pred: tr.Pred,
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: tr.Cfg.N, Policy: sampler.MostRecent,
+		MaxBatch: 8, MaxWait: time.Millisecond, SnapshotEvery: 64, Seed: 3,
+		Durability: dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// assertEngineEquivalent is the crash-equivalence check: rec (a recovered
+// engine) and ref (an engine that never crashed, fed the same prefix) must
+// agree bitwise — watermark, event count, adjacency, edge features, and the
+// scores they serve.
+func assertEngineEquivalent(t *testing.T, rec, ref *Engine, probes []tgraph.Event) {
+	t.Helper()
+	recWM, recOK := rec.Watermark()
+	refWM, refOK := ref.Watermark()
+	if recWM != refWM || recOK != refOK {
+		t.Fatalf("watermark %v (ok=%v), want %v (ok=%v)", recWM, recOK, refWM, refOK)
+	}
+	if rec.NumEvents() != ref.NumEvents() {
+		t.Fatalf("recovered %d events, want %d", rec.NumEvents(), ref.NumEvents())
+	}
+	sRec, sRef := rec.PublishSnapshot(), ref.PublishSnapshot()
+	if d := tgraph.AdjacencyDiff(sRec.TCSR, sRef.TCSR); d != "" {
+		t.Fatalf("adjacency diverged: %s", d)
+	}
+	if len(sRec.EdgeFeat.Data) != len(sRef.EdgeFeat.Data) {
+		t.Fatalf("edge features %d floats, want %d", len(sRec.EdgeFeat.Data), len(sRef.EdgeFeat.Data))
+	}
+	for i, v := range sRef.EdgeFeat.Data {
+		if sRec.EdgeFeat.Data[i] != v {
+			t.Fatalf("edge feature %d: %v != %v", i, sRec.EdgeFeat.Data[i], v)
+		}
+	}
+	qt := refWM + 1
+	for _, ev := range probes {
+		got, err := rec.PredictLink(ev.Src, ev.Dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.PredictLink(ev.Src, ev.Dst, qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("probe (%d→%d): recovered score %v, reference %v (weights %d vs %d)",
+				ev.Src, ev.Dst, got.Score, want.Score, got.Weights, want.Weights)
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalence is the tentpole property test: a process
+// killed at an arbitrary byte offset — mid WAL segment, mid checkpoint
+// write, or after a weight publication — restarts, recovers, and serves
+// bitwise-identically to an engine that ingested the recovered prefix
+// without ever crashing. At most the unsynced WAL tail (< SyncEvery events)
+// is lost.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	const syncEvery = 8
+	ds := datasets.Wikipedia(0.02, 7)
+	events := ds.Graph.Events
+	publishAt := len(events) / 2
+
+	scenarios := []struct {
+		name    string
+		pattern string // FaultFS byte-budget pattern ("" = every file)
+		budget  int64  // bytes until the kill; <0 = no kill (clean shutdown)
+	}{
+		{"mid-segment-early", "wal-", 3_000}, // dies before the weight publication
+		{"mid-segment-late", "wal-", 40_000}, // dies replaying past the checkpoint
+		{"mid-checkpoint", "ckpt", 500},      // dies tearing the checkpoint file itself
+		{"post-publish", "wal-", 30_000},     // dies after checkpoint + publication
+		{"clean-shutdown", "", -1},           // no crash: Close finalizes, zero loss
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ff := wal.NewFaultFS(nil)
+			dur := Durability{Dir: dir, SyncEvery: syncEvery, SegmentBytes: 4096, FS: ff}
+			crash := newRecoveryEngine(t, ds, dur)
+			if sc.budget >= 0 {
+				ff.KillAfter(sc.budget, sc.pattern)
+			}
+
+			admitted := 0
+			published := false
+			for i, ev := range events {
+				if i == publishAt {
+					if err := crash.PublishWeights(perturbed(crash, 2, 1.25)); err != nil {
+						t.Fatal(err)
+					}
+					published = true
+				}
+				err := crash.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i))
+				if err != nil {
+					if errors.Is(err, ErrDurability) {
+						break // the process "died" here
+					}
+					t.Fatal(err)
+				}
+				admitted++
+			}
+			if sc.budget >= 0 && !ff.Killed() {
+				ff.Kill() // generous budget: power off at stream end instead
+			}
+			crash.Close() // finalization against a dead FS must be harmless
+
+			// Restart: same directory, healthy FS.
+			rec := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: syncEvery, SegmentBytes: 4096})
+			rep, err := rec.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := rec.NumEvents()
+			if n > admitted {
+				t.Fatalf("recovered %d events, only %d were admitted", n, admitted)
+			}
+			if admitted-n >= syncEvery {
+				t.Fatalf("lost %d events (admitted %d, recovered %d); loss bound is SyncEvery=%d",
+					admitted-n, admitted, n, syncEvery)
+			}
+			if sc.budget < 0 && n != admitted {
+				t.Fatalf("clean shutdown lost %d events", admitted-n)
+			}
+			if published && n >= publishAt && rep.WeightVersion != 2 && sc.name == "post-publish" {
+				t.Fatalf("published weights not recovered: version %d", rep.WeightVersion)
+			}
+
+			// Reference: never-crashed engine over the recovered prefix, at
+			// the recovered weight version.
+			ref := newRecoveryEngine(t, ds, Durability{})
+			if err := ref.Bootstrap(events[:n], ds.EdgeFeat.SliceRows(n)); err != nil {
+				t.Fatal(err)
+			}
+			if rep.WeightVersion == 2 {
+				if err := ref.PublishWeights(perturbed(ref, 2, 1.25)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			probes := events[:min(8, n)]
+			assertEngineEquivalent(t, rec, ref, probes)
+			t.Logf("admitted=%d recovered=%d (ckpt=%d replay=%d healed=%d) weights=v%d in %v",
+				admitted, n, rep.CheckpointEvents, rep.ReplayedEvents, rep.HealedEvents,
+				rep.WeightVersion, rep.Duration)
+		})
+	}
+}
+
+// TestRecoverHealsLaggingWAL: when the checkpoint is ahead of the WAL (the
+// log's tail was lost wholesale — here, every segment deleted), Recover
+// re-appends the checkpointed events to the log so record i == event i holds
+// again, and the engine survives a further ingest + restart cycle.
+func TestRecoverHealsLaggingWAL(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 19)
+	dir := t.TempDir()
+	e := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: 4})
+	for i := 0; i < 40; i++ {
+		ev := ds.Graph.Events[i]
+		if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close() // final checkpoint covers all 40 events
+
+	// Lose the log wholesale; only the checkpoint survives.
+	fsys := wal.OSFS{}
+	segs, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, name := range segs {
+		if len(name) > 4 && name[:4] == "wal-" {
+			if err := fsys.Remove(dir + "/" + name); err != nil {
+				t.Fatal(err)
+			}
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no WAL segments existed to remove")
+	}
+
+	rec := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: 4})
+	rep, err := rec.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointEvents != 40 || rep.HealedEvents != 40 {
+		t.Fatalf("recovered ckpt=%d healed=%d, want 40/40", rep.CheckpointEvents, rep.HealedEvents)
+	}
+	// The healed log extends: ingest past it, restart, everything is there.
+	for i := 40; i < 50; i++ {
+		ev := ds.Graph.Events[i]
+		if err := rec.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Close()
+	again := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: 4})
+	if _, err := again.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if again.NumEvents() != 50 {
+		t.Fatalf("second recovery has %d events, want 50", again.NumEvents())
+	}
+}
+
+// TestRecoverEmptyStoreIsFreshStart: recovering from an empty directory is a
+// no-op, and the engine then works normally.
+func TestRecoverEmptyStoreIsFreshStart(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 3)
+	e := newRecoveryEngine(t, ds, Durability{Dir: t.TempDir()})
+	rep, err := e.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointEvents != 0 || rep.ReplayedEvents != 0 || rep.HasWatermark {
+		t.Fatalf("empty store recovered state: %+v", rep)
+	}
+	if err := e.Ingest(0, 1, 1.5, ds.EdgeFeat.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Embed(0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRequiresFreshEngine: Recover on an engine that has already
+// ingested refuses rather than double-loading the stream.
+func TestRecoverRequiresFreshEngine(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 3)
+	e := newRecoveryEngine(t, ds, Durability{Dir: t.TempDir()})
+	if err := e.Ingest(0, 1, 1, ds.EdgeFeat.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Recover(); err == nil {
+		t.Fatal("Recover after ingest must fail")
+	}
+	// And without durability it fails outright.
+	plain := newRecoveryEngine(t, ds, Durability{})
+	if _, err := plain.Recover(); err == nil {
+		t.Fatal("Recover without durability must fail")
+	}
+}
+
+// TestIngestDurabilityFailureKeepsStateConsistent is the satellite-1 audit:
+// when the WAL cannot make an event durable, the event is not admitted — the
+// graph, watermark and feature buffer are exactly as before the call, the
+// error wraps ErrDurability, and the failure is counted. A restart over the
+// same directory recovers the consistent prefix.
+func TestIngestDurabilityFailureKeepsStateConsistent(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 5)
+	dir := t.TempDir()
+	ff := wal.NewFaultFS(nil)
+	// SyncEvery 1: every append syncs, so an injected fsync error surfaces on
+	// the very call that carries the event.
+	e := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: 1, FS: ff})
+
+	for i := 0; i < 10; i++ {
+		ev := ds.Graph.Events[i]
+		if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wmBefore, _ := e.Watermark()
+	featsBefore := len(e.edgeFeat)
+
+	ff.FailSyncs(true)
+	ev := ds.Graph.Events[10]
+	err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(10))
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("want ErrDurability, got %v", err)
+	}
+	if e.NumEvents() != 10 {
+		t.Fatalf("failed ingest admitted the event: %d events", e.NumEvents())
+	}
+	if wm, _ := e.Watermark(); wm != wmBefore {
+		t.Fatalf("failed ingest moved the watermark: %v != %v", wm, wmBefore)
+	}
+	if len(e.edgeFeat) != featsBefore {
+		t.Fatalf("failed ingest appended a feature row: %d != %d floats", len(e.edgeFeat), featsBefore)
+	}
+	// The WAL is sticky-failed: healing the fsync does not resurrect it, so
+	// the log can never silently hold a gap.
+	ff.FailSyncs(false)
+	if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(10)); !errors.Is(err, ErrDurability) {
+		t.Fatalf("ingest after a WAL failure must keep failing: %v", err)
+	}
+	if st := e.Stats(); st.WALFailures != 2 {
+		t.Fatalf("WALFailures = %d, want 2", st.WALFailures)
+	}
+	e.Close()
+
+	// Restart. The 10 synced events must recover. The 11th is the classic
+	// indeterminate commit: its bytes were written before the fsync failed,
+	// so recovery may legitimately include it — the event was validated and
+	// logged, the producer merely never got an acknowledgment (exactly like
+	// a COMMIT whose reply was lost). What recovery must never do is skip it
+	// and include something later.
+	rec := newRecoveryEngine(t, ds, Durability{Dir: dir})
+	rep, err := rec.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rec.NumEvents()
+	if n != 10 && n != 11 {
+		t.Fatalf("recovered %d events, want 10 or 11 (%+v)", n, rep)
+	}
+	if n == 11 {
+		snap := rec.PublishSnapshot()
+		if got := snap.Graph.Events[10]; got.Src != ev.Src || got.Dst != ev.Dst || got.Time != ev.Time {
+			t.Fatalf("recovered 11th event %+v, want the unacknowledged %+v", got, ev)
+		}
+	}
+}
+
+// TestPublishWeightsWritesCheckpoint: with durability on, an accepted
+// publication durably pairs the weights with the stream, and a restarted
+// engine recovers them (the guarantee internal/finetune's background loop
+// leans on — a crash never rolls serving back past a published version).
+func TestPublishWeightsWritesCheckpoint(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 11)
+	dir := t.TempDir()
+	e := newRecoveryEngine(t, ds, Durability{Dir: dir, SyncEvery: 4})
+	for i := 0; i < 32; i++ {
+		ev := ds.Graph.Events[i]
+		if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.PublishWeights(perturbed(e, 2, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatal("publication must write a checkpoint")
+	}
+	if st.CheckpointEvents != 32 {
+		t.Fatalf("checkpoint covers %d events, want 32", st.CheckpointEvents)
+	}
+	// Kill without Close: recovery must still restore the published version.
+	rec := newRecoveryEngine(t, ds, Durability{Dir: dir})
+	rep, err := rec.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WeightVersion != 2 {
+		t.Fatalf("recovered weight version %d, want 2", rep.WeightVersion)
+	}
+	if rec.NumEvents() != 32 {
+		t.Fatalf("recovered %d events, want 32", rec.NumEvents())
+	}
+}
+
+// TestPeriodicCheckpointCadence: CheckpointEvery writes checkpoints on the
+// ingest path without a weight publication in sight.
+func TestPeriodicCheckpointCadence(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 13)
+	e := newRecoveryEngine(t, ds, Durability{Dir: t.TempDir(), SyncEvery: 4, CheckpointEvery: 16})
+	for i := 0; i < 50; i++ {
+		ev := ds.Graph.Events[i]
+		if err := e.Ingest(ev.Src, ev.Dst, ev.Time, ds.EdgeFeat.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Checkpoints != 3 { // at events 16, 32, 48
+		t.Fatalf("checkpoints = %d, want 3", st.Checkpoints)
+	}
+	if st.CheckpointEvents != 48 {
+		t.Fatalf("newest checkpoint covers %d events, want 48", st.CheckpointEvents)
+	}
+}
+
+// TestDurableIngestAllocOverhead guards the group-commit hot path: durable
+// ingest must stay within 2 heap allocations per event of non-durable
+// ingest, like the arena guards in internal/train. Snapshots are pushed out
+// of the window so the measurement isolates the WAL tee.
+func TestDurableIngestAllocOverhead(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 17)
+	plain := newRecoveryEngine(t, ds, Durability{})
+	durable := newRecoveryEngine(t, ds, Durability{Dir: t.TempDir(), SyncEvery: 64})
+	plain.cfg.SnapshotEvery = 1 << 30
+	durable.cfg.SnapshotEvery = 1 << 30
+
+	feat := make([]float64, ds.Spec.EdgeDim)
+	warm := 512
+	measure := func(e *Engine) float64 {
+		clock := 0.0
+		ingest := func() {
+			clock++
+			if err := e.Ingest(3, 4, clock, feat); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < warm; i++ { // steady-state the WAL buffer and feature slab
+			ingest()
+		}
+		return testing.AllocsPerRun(256, ingest)
+	}
+	p := measure(plain)
+	d := measure(durable)
+	t.Logf("allocs/event: plain=%.2f durable=%.2f (delta %.2f)", p, d, d-p)
+	if d-p > 2 {
+		t.Fatalf("durable ingest allocates %.2f/event over non-durable (budget 2)", d-p)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"taser/internal/tensor"
 	"taser/internal/tgraph"
 	"taser/internal/train"
+	"taser/internal/wal"
 )
 
 // ErrClosed is returned by serving calls after Close.
@@ -82,6 +83,11 @@ type Config struct {
 	FinetuneInterval time.Duration // cadence of fine-tune rounds (0 = finetune default)
 	ReplayWindow     int           // recent events replayed per round (0 = finetune default)
 
+	// Durability enables the write-ahead log and checkpointing when its Dir
+	// is set (durability.go, DESIGN.md §9); the zero value serves purely
+	// in-memory.
+	Durability Durability
+
 	Seed uint64
 	Xfer *device.XferStats // optional transfer accounting shared with offline runs
 }
@@ -111,6 +117,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 4096
+	}
+	if c.Durability.Dir != "" && c.Durability.FS == nil {
+		c.Durability.FS = wal.OSFS{}
 	}
 	return c, nil
 }
@@ -190,6 +199,17 @@ type Engine struct {
 	weightSwaps   atomic.Uint64 // swaps performed
 	swapNanos     atomic.Int64  // cumulative time spent copying weights in
 
+	// Durability (durability.go): the WAL shares the ingest lock — appends
+	// happen on the ingest path — while checkpoint writes serialize on their
+	// own mutex so they never stall ingest for the duration of an fsync.
+	wlog         *wal.Log   // nil = durability off (guarded by ingestMu)
+	sinceCkpt    int        // events since the last periodic checkpoint (guarded by ingestMu)
+	ckptMu       sync.Mutex // serializes checkpoint capture+write
+	walFailures  atomic.Uint64
+	ckptWrites   atomic.Uint64
+	ckptFailures atomic.Uint64
+	ckptEvents   atomic.Uint64 // events covered by the newest checkpoint
+
 	reqs      chan *request
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -217,6 +237,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.EdgeDim > 0 {
 		e.zeroRow = make([]float64, cfg.EdgeDim)
 	}
+	if cfg.Durability.Dir != "" {
+		e.wlog, err = wal.Open(wal.Config{
+			Dir: cfg.Durability.Dir, SyncEvery: cfg.Durability.SyncEvery,
+			SegmentBytes: cfg.Durability.SegmentBytes, FS: cfg.Durability.FS,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	e.publishLocked() // version 1: empty graph, serving works immediately
 	snap := e.snap.Load()
 	e.builder, err = train.NewInferenceBuilder(train.InferConfig{
@@ -225,6 +254,9 @@ func New(cfg Config) (*Engine, error) {
 		Policy: cfg.Policy, Finder: cfg.Finder, Seed: cfg.Seed, Xfer: cfg.Xfer,
 	})
 	if err != nil {
+		if e.wlog != nil {
+			e.wlog.Close()
+		}
 		return nil, err
 	}
 	e.builderVersion = snap.Version
@@ -240,11 +272,23 @@ func New(cfg Config) (*Engine, error) {
 
 // Close shuts the scheduler down after serving every request it has already
 // accepted. Serving calls issued after (or racing with) Close return
-// ErrClosed. Safe to call multiple times.
+// ErrClosed. With durability configured, Close then writes a final
+// checkpoint and syncs and closes the WAL, so a clean shutdown loses
+// nothing and the next Recover needs no replay; failures in that best-effort
+// finalization are counted in Stats (the WAL's synced prefix still protects
+// the stream). Ingest after Close fails with ErrDurability on a durable
+// engine and is silently unprotected on a non-durable one, as before. Safe
+// to call multiple times.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		close(e.quit)
 		e.wg.Wait()
+		if e.wlog != nil {
+			e.checkpointNow() // also syncs the WAL tail
+			e.ingestMu.Lock()
+			e.wlog.Close()
+			e.ingestMu.Unlock()
+		}
 	})
 }
 
@@ -260,44 +304,107 @@ func (e *Engine) Close() {
 // reading their pinned snapshots untouched. Every SnapshotEvery admitted
 // events a new snapshot is published incrementally (O(delta) shared-prefix
 // views, charged to the writer, never to readers).
+//
+// With durability configured, the event is appended to the WAL before it is
+// admitted; a WAL failure returns an error wrapping ErrDurability and admits
+// nothing — graph, feature buffer and log never diverge. The append rides
+// the WAL's group commit, so the durable hot path stays allocation-free and
+// a crash loses at most the unsynced tail (Durability.SyncEvery events).
 func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
 	if e.cfg.EdgeDim > 0 && feat != nil && len(feat) != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), e.cfg.EdgeDim)
 	}
+	ckpt, err := e.ingestOne(src, dst, t, feat)
+	if err != nil {
+		return err
+	}
+	if ckpt {
+		e.checkpointNow() // periodic cadence crossed; write outside the ingest lock
+	}
+	return nil
+}
+
+// ingestOne admits one event under the ingest lock and reports whether the
+// periodic checkpoint cadence was crossed.
+func (e *Engine) ingestOne(src, dst int32, t float64, feat []float64) (checkpoint bool, err error) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	if wm, ok := e.gb.LastTime(); ok && t < wm {
-		return fmt.Errorf("%w: event (%d→%d) at t=%v arrived behind watermark t=%v",
+		return false, fmt.Errorf("%w: event (%d→%d) at t=%v arrived behind watermark t=%v",
 			ErrStaleEvent, src, dst, t, wm)
 	}
+	if e.wlog != nil {
+		// Validate first (Check is Add without the mutation) so the WAL never
+		// logs an event the builder would then reject, then log before
+		// admitting so a crash can lose a logged-but-unadmitted suffix but
+		// never an admitted-but-unlogged one.
+		if err := e.gb.Check(src, dst, t); err != nil {
+			return false, fmt.Errorf("serve: ingest rejected: %w", err)
+		}
+		if err := e.wlog.Append(src, dst, t, e.walRow(feat)); err != nil {
+			e.walFailures.Add(1)
+			return false, fmt.Errorf("%w: event (%d→%d) not logged: %w", ErrDurability, src, dst, err)
+		}
+	}
 	if err := e.gb.Add(src, dst, t); err != nil {
-		return fmt.Errorf("serve: ingest rejected: %w", err)
+		return false, fmt.Errorf("serve: ingest rejected: %w", err)
 	}
 	e.appendFeatLocked(feat)
 	e.sinceSnap++
 	if e.sinceSnap >= e.cfg.SnapshotEvery {
 		e.publishLocked()
 	}
-	return nil
+	if e.wlog != nil && e.cfg.Durability.CheckpointEvery > 0 {
+		e.sinceCkpt++
+		if e.sinceCkpt >= e.cfg.Durability.CheckpointEvery {
+			e.sinceCkpt = 0
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // Bootstrap bulk-loads a historical event prefix (e.g. the offline training
 // split) under one writer lock and publishes a single snapshot at the end,
 // avoiding the per-SnapshotEvery repacks of event-by-event Ingest. feats may
 // be nil; otherwise row i is event i's edge-feature row.
+//
+// With durability configured, the prefix is WAL-logged like any other events
+// (group commit amortizes the fsyncs) and a checkpoint covering it is
+// written, so a restart recovers the bootstrap from the checkpoint instead
+// of replaying it event by event.
 func (e *Engine) Bootstrap(events []tgraph.Event, feats *tensor.Matrix) error {
 	if feats != nil && feats.Cols != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: bootstrap feature width %d, want %d", feats.Cols, e.cfg.EdgeDim)
 	}
+	if err := e.bootstrapLocked(events, feats); err != nil {
+		return err
+	}
+	if e.wlog != nil {
+		e.checkpointNow()
+	}
+	return nil
+}
+
+func (e *Engine) bootstrapLocked(events []tgraph.Event, feats *tensor.Matrix) error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	for i, ev := range events {
-		if err := e.gb.Add(ev.Src, ev.Dst, ev.Time); err != nil {
-			return fmt.Errorf("serve: bootstrap event %d: %w", i, err)
-		}
 		var row []float64
 		if feats != nil {
 			row = feats.Row(i)
+		}
+		if e.wlog != nil {
+			if err := e.gb.Check(ev.Src, ev.Dst, ev.Time); err != nil {
+				return fmt.Errorf("serve: bootstrap event %d: %w", i, err)
+			}
+			if err := e.wlog.Append(ev.Src, ev.Dst, ev.Time, e.walRow(row)); err != nil {
+				e.walFailures.Add(1)
+				return fmt.Errorf("%w: bootstrap event %d not logged: %w", ErrDurability, i, err)
+			}
+		}
+		if err := e.gb.Add(ev.Src, ev.Dst, ev.Time); err != nil {
+			return fmt.Errorf("serve: bootstrap event %d: %w", i, err)
 		}
 		e.appendFeatLocked(row)
 	}
@@ -330,7 +437,28 @@ func (e *Engine) Pin() *Snapshot { return e.snap.Load() }
 // version newer than the currently applied one; older or duplicate versions
 // are dropped so a slow publisher can never roll serving backwards. The
 // caller must not mutate w after publishing.
+//
+// With durability configured, every accepted publication synchronously
+// writes a checkpoint pairing the new weights with the stream prefix they
+// serve, so a crash never rolls recovered serving back past a weight
+// version a client may have observed. Checkpoint write failures are counted
+// in Stats, not returned: the publication itself stands (the engine keeps
+// serving the new weights) and the previous checkpoint plus WAL still
+// protect the stream.
 func (e *Engine) PublishWeights(w *models.WeightSet) error {
+	if err := e.publishWeightsCore(w); err != nil {
+		return err
+	}
+	if e.wlog != nil {
+		e.checkpointNow()
+	}
+	return nil
+}
+
+// publishWeightsCore validates and stores a weight set without the
+// durability side effect (Recover republishes checkpointed weights through
+// it — re-checkpointing the state just restored would be a pointless write).
+func (e *Engine) publishWeightsCore(w *models.WeightSet) error {
 	if w == nil {
 		return fmt.Errorf("serve: PublishWeights(nil)")
 	}

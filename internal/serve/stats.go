@@ -62,6 +62,17 @@ type Stats struct {
 	WeightSwaps   uint64        // published weight sets swapped in so far
 	AvgSwap       time.Duration // mean time the scheduler spent applying one set
 
+	// Durability counters (zero when durability is off; see durability.go).
+	Durable          bool
+	WALAppended      uint64 // events appended to the WAL (buffered tail included)
+	WALSynced        uint64 // events known durable
+	WALSyncs         uint64 // fsync batches performed
+	WALSegments      int    // segment files written across the log's lifetime
+	WALFailures      uint64 // ingest attempts rejected by a failing WAL
+	Checkpoints      uint64 // checkpoints written
+	CheckpointFails  uint64 // checkpoint writes that failed (engine kept serving)
+	CheckpointEvents uint64 // events covered by the newest checkpoint
+
 	P50, P99 time.Duration // over the recent-latency window
 }
 
@@ -98,6 +109,18 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.cache != nil {
 		s.CacheHits, s.CacheStale, s.CacheMisses = e.cache.counts()
+	}
+	if e.wlog != nil {
+		s.Durable = true
+		e.ingestMu.Lock()
+		ws := e.wlog.Stats()
+		e.ingestMu.Unlock()
+		s.WALAppended, s.WALSynced = ws.Appended, ws.Synced
+		s.WALSyncs, s.WALSegments = ws.Syncs, ws.Segments
+		s.WALFailures = e.walFailures.Load()
+		s.Checkpoints = e.ckptWrites.Load()
+		s.CheckpointFails = e.ckptFailures.Load()
+		s.CheckpointEvents = e.ckptEvents.Load()
 	}
 	if snap := e.snap.Load(); snap != nil {
 		s.SnapshotVersion = snap.Version

@@ -63,14 +63,8 @@ func NewBuilder(numNodes int) *Builder {
 // invariant the pivot searches rely on, and ±Inf would collide with
 // sentinel values downstream consumers reserve for "no events".
 func (b *Builder) Add(src, dst int32, t float64) error {
-	if src < 0 || int(src) >= b.numNodes || dst < 0 || int(dst) >= b.numNodes {
-		return fmt.Errorf("tgraph: endpoints (%d, %d) out of range [0, %d)", src, dst, b.numNodes)
-	}
-	if math.IsNaN(t) || math.IsInf(t, 0) {
-		return fmt.Errorf("tgraph: event timestamp %v is not finite", t)
-	}
-	if len(b.events) > 0 && t < b.lastT {
-		return fmt.Errorf("tgraph: event at t=%v arrived after t=%v (stream must be chronological)", t, b.lastT)
+	if err := b.Check(src, dst, t); err != nil {
+		return err
 	}
 	b.lastT = t
 	id := int32(len(b.events))
@@ -86,6 +80,24 @@ func (b *Builder) Add(src, dst int32, t float64) error {
 		b.eid[dst] = append(b.eid[dst], id)
 		b.entries++
 		b.markDirty(dst)
+	}
+	return nil
+}
+
+// Check reports whether Add would admit the event, without mutating the
+// builder: endpoints in range, finite timestamp, chronological order. Callers
+// that must perform a side effect between validation and admission (the
+// serving engine WAL-logs an event before admitting it) use Check first so
+// the side effect never fires for an event Add would then reject.
+func (b *Builder) Check(src, dst int32, t float64) error {
+	if src < 0 || int(src) >= b.numNodes || dst < 0 || int(dst) >= b.numNodes {
+		return fmt.Errorf("tgraph: endpoints (%d, %d) out of range [0, %d)", src, dst, b.numNodes)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("tgraph: event timestamp %v is not finite", t)
+	}
+	if len(b.events) > 0 && t < b.lastT {
+		return fmt.Errorf("tgraph: event at t=%v arrived after t=%v (stream must be chronological)", t, b.lastT)
 	}
 	return nil
 }

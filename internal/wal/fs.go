@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the WAL and checkpoint writers run on.
+// Production code uses the process filesystem (OSFS); recovery tests inject a
+// FaultFS that wraps it with torn writes, short reads, fsync errors and
+// kill-at-offset crashes — the failure modes a write-ahead log exists to
+// survive. Keeping the surface this small is what makes the fault matrix
+// exhaustively testable.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the base names of dir's entries in lexical order.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname (POSIX rename).
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (the torn-tail repair primitive).
+	Truncate(name string, size int64) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making renames and creations
+	// durable (without it a crash can roll back a committed rename).
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface: sequential reads and writes plus fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OSFS is the process filesystem.
+type OSFS struct{}
+
+var _ FS = OSFS{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

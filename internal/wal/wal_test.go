@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taser/internal/mathx"
+)
+
+// collect replays the whole log into a slice (copying feature rows).
+func collect(t *testing.T, fsys FS, dir string, from uint64) []Record {
+	t.Helper()
+	var out []Record
+	_, err := Replay(fsys, dir, from, func(seq uint64, rec Record) error {
+		r := rec
+		r.Feat = append([]float64(nil), rec.Feat...)
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// synthRecords builds a deterministic chronological record stream.
+func synthRecords(n, featDim int, seed uint64) []Record {
+	rng := mathx.NewRNG(seed)
+	recs := make([]Record, n)
+	tm := 0.0
+	for i := range recs {
+		tm += rng.Float64()
+		var feat []float64
+		if featDim > 0 {
+			feat = make([]float64, featDim)
+			for j := range feat {
+				feat[j] = rng.NormFloat64()
+			}
+		}
+		recs[i] = Record{Src: int32(rng.Intn(100)), Dst: int32(rng.Intn(100)), T: tm, Feat: feat}
+	}
+	return recs
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append(r.Src, r.Dst, r.T, r.Feat); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+}
+
+func sameRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Src != w.Src || g.Dst != w.Dst || g.T != w.T || len(g.Feat) != len(w.Feat) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, w)
+		}
+		for j := range w.Feat {
+			if g.Feat[j] != w.Feat[j] {
+				t.Fatalf("record %d feat %d: got %v want %v", i, j, g.Feat[j], w.Feat[j])
+			}
+		}
+	}
+}
+
+// TestAppendReplayRoundTrip: every appended record comes back bitwise, across
+// segment rotations, with and without feature rows.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, featDim := range []int{0, 5} {
+		dir := t.TempDir()
+		recs := synthRecords(300, featDim, 7)
+		l, err := Open(Config{Dir: dir, SyncEvery: 16, SegmentBytes: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, recs)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Appended != 300 || st.Synced != 300 {
+			t.Fatalf("stats after close: %+v", st)
+		}
+		if l.Stats().Segments < 2 {
+			t.Fatalf("expected rotation across segments, got %d", l.Stats().Segments)
+		}
+		sameRecords(t, collect(t, OSFS{}, dir, 0), recs)
+	}
+}
+
+// TestReopenContinuesSequence: closing and reopening appends after the
+// existing records, and a suffix replay sees only the new ones.
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(100, 3, 11)
+	l, err := Open(Config{Dir: dir, SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs[:60])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Config{Dir: dir, SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != 60 {
+		t.Fatalf("reopened at seq %d, want 60", l2.Seq())
+	}
+	appendAll(t, l2, recs[60:])
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, collect(t, OSFS{}, dir, 0), recs)
+	sameRecords(t, collect(t, OSFS{}, dir, 60), recs[60:])
+}
+
+// TestGroupCommitLossBound: records beyond the last sync are buffered in
+// memory only — a crash (abandoning the log without Close) loses at most
+// SyncEvery-1 records, and repair recovers the synced prefix exactly.
+func TestGroupCommitLossBound(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(100, 0, 3)
+	l, err := Open(Config{Dir: dir, SyncEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs) // 100 appends → 6 syncs at 96; 4 records buffered
+	// Crash: no Close, no Sync. The buffered tail never reached the FS.
+	rep, err := Repair(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 96 {
+		t.Fatalf("recovered %d records, want the 96 synced ones", rep.Records)
+	}
+	if lost := 100 - int(rep.Records); lost >= 16 {
+		t.Fatalf("lost %d records, bound is SyncEvery-1 = 15", lost)
+	}
+	sameRecords(t, collect(t, OSFS{}, dir, 0), recs[:96])
+}
+
+// TestRepairTruncatesTornTail: a torn final record (simulated by truncating
+// the file mid-record) is cut back to the last whole record.
+func TestRepairTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(50, 2, 5)
+	l, err := Open(Config{Dir: dir, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(0))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil { // mid-record cut
+		t.Fatal(err)
+	}
+	rep, err := Verify(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Records != 49 {
+		t.Fatalf("verify: %+v, want torn with 49 whole records", rep)
+	}
+	if _, err := Repair(OSFS{}, dir); err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, collect(t, OSFS{}, dir, 0), recs[:49])
+	// Reopening appends cleanly after the repaired prefix.
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != 49 {
+		t.Fatalf("reopened at %d, want 49", l2.Seq())
+	}
+	l2.Close()
+}
+
+// TestRepairStopsAtCorruption: a flipped byte mid-log fails that record's
+// CRC; repair truncates from the corrupt record onward, including every
+// later segment.
+func TestRepairStopsAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(200, 1, 9)
+	l, err := Open(Config{Dir: dir, SyncEvery: 4, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle of the first segment.
+	seg := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repair(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Records >= 200 {
+		t.Fatalf("repair: %+v, want a truncated prefix", rep)
+	}
+	got := collect(t, OSFS{}, dir, 0)
+	sameRecords(t, got, recs[:rep.Records])
+	// Later segments must be gone: a fresh Open counts the same prefix.
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != rep.Records {
+		t.Fatalf("reopen sees %d records, repair reported %d", l2.Seq(), rep.Records)
+	}
+	l2.Close()
+}
+
+// TestReplayUnderShortReads: the decoder never assumes one Read fills its
+// buffer — replay under a 3-byte read limit returns every record bitwise.
+func TestReplayUnderShortReads(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(40, 4, 13)
+	l, err := Open(Config{Dir: dir, SyncEvery: 8, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ff := NewFaultFS(OSFS{})
+	ff.LimitReads(3)
+	sameRecords(t, collect(t, ff, dir, 0), recs)
+}
+
+// TestKillAtOffsetTearsWrite: the write crossing the byte budget persists
+// only its in-budget prefix, every later operation fails with ErrKilled, and
+// the surviving log repairs to a clean record prefix.
+func TestKillAtOffsetTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(100, 2, 17)
+	ff := NewFaultFS(OSFS{})
+	l, err := Open(Config{Dir: dir, SyncEvery: 4, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.KillAfter(700, "wal-")
+	var appendErr error
+	appended := 0
+	for _, r := range recs {
+		if appendErr = l.Append(r.Src, r.Dst, r.T, r.Feat); appendErr != nil {
+			break
+		}
+		appended++
+	}
+	if appendErr == nil {
+		t.Fatal("expected the kill to surface as an append error")
+	}
+	if !errors.Is(appendErr, ErrKilled) {
+		t.Fatalf("append error %v, want ErrKilled", appendErr)
+	}
+	if !ff.Killed() {
+		t.Fatal("fault did not fire")
+	}
+	// The sticky error holds: later appends and syncs fail identically.
+	if err := l.Append(1, 2, 1e9, nil); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill append: %v", err)
+	}
+	// Restart with a healthy FS: repair truncates the torn tail and replay
+	// yields a strict prefix of what was appended.
+	rep, err := Repair(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(rep.Records) > appended {
+		t.Fatalf("recovered %d records but only %d were appended", rep.Records, appended)
+	}
+	sameRecords(t, collect(t, OSFS{}, dir, 0), recs[:rep.Records])
+}
+
+// TestFsyncErrorIsSticky: an injected fsync failure poisons the log without
+// killing the FS; the durable prefix stays replayable.
+func TestFsyncErrorIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	recs := synthRecords(20, 0, 19)
+	ff := NewFaultFS(OSFS{})
+	l, err := Open(Config{Dir: dir, SyncEvery: 4, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs[:8])
+	ff.FailSyncs(true)
+	var failed error
+	for _, r := range recs[8:] {
+		if failed = l.Append(r.Src, r.Dst, r.T, r.Feat); failed != nil {
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("expected a sync failure to surface")
+	}
+	if err := l.Append(5, 6, 1e9, nil); err == nil {
+		t.Fatal("log accepted an append after a failed sync")
+	}
+	ff.FailSyncs(false)
+	rep, err := Repair(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, collect(t, OSFS{}, dir, 0), recs[:rep.Records])
+}
+
+// TestVerifyCleanLog reports no faults on a cleanly closed log.
+func TestVerifyCleanLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir, SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, synthRecords(10, 1, 23))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn || rep.Records != 10 {
+		t.Fatalf("verify clean log: %+v", rep)
+	}
+}
