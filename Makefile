@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover vet serve loadtest loadtest-http
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke
 
 all: build test
 
@@ -63,6 +63,17 @@ bench-finetune:
 # fsync-per-event) — see DESIGN.md §9 and EXPERIMENTS.md.
 bench-recover:
 	$(GO) run ./cmd/taser-bench -exp recover
+
+# Replication: follower catch-up time vs stream length (WAL tail vs shipped
+# checkpoint) and steady-state lag vs leader ingest rate — see DESIGN.md §11
+# and EXPERIMENTS.md.
+bench-replicate:
+	$(GO) run ./cmd/taser-bench -exp replicate
+
+# Two-process replication smoke test over localhost: leader + follower,
+# hard leader kill, promotion, demoted store re-joining (DESIGN.md §11).
+repl-smoke:
+	bash scripts/repl_smoke.sh
 
 # HTTP-mode load test: build taser-serve and taser-bench, start a real server
 # (short pretraining at small scale), drive /v1/ingest + /v1/predict +

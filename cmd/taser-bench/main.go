@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table2, table3, fig1, fig3a, fig3b, fig4,
 // ablation-encoder, ablation-decoder, ablation-cache, pipeline, serve,
-// ingest, alloc, finetune, recover, all.
+// ingest, alloc, finetune, recover, replicate, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|recover|loadhttp|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|recover|replicate|loadhttp|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -40,6 +40,8 @@ func main() {
 		ingNodes   = flag.Int("ingest-nodes", 0, "ingest: node-id space of the synthetic stream (default 2000)")
 		recEvents  = flag.String("recover-events", "", "recover: comma-separated stream lengths (default 1024,4096,16384)")
 		recSync    = flag.Int("recover-sync-every", 0, "recover: WAL group-commit interval (default 64)")
+		repEvents  = flag.String("replicate-events", "", "replicate: comma-separated catch-up stream lengths (default 1024,4096,16384)")
+		repRates   = flag.String("replicate-rates", "", "replicate: comma-separated leader ingest rates, events/sec (default 1000,4000,16000)")
 		ftEvery    = flag.Int("finetune-every", 0, "finetune: drifted events per fine-tune round (default 96)")
 		ftNegs     = flag.Int("finetune-negs", 0, "finetune: negatives per prequential MRR eval (default 19)")
 		ftLR       = flag.Float64("finetune-lr", 0, "finetune: fine-tuning learning rate (default 3e-4)")
@@ -80,6 +82,8 @@ func main() {
 	opts.ServeClients = parseInts("-serve-clients", *srvClients)
 	opts.IngestEvents = parseInts("-ingest-events", *ingEvents)
 	opts.RecoverEvents = parseInts("-recover-events", *recEvents)
+	opts.ReplicateEvents = parseInts("-replicate-events", *repEvents)
+	opts.ReplicateRates = parseInts("-replicate-rates", *repRates)
 
 	experiments := map[string]func(bench.Options) error{
 		"table1":              bench.Table1,
@@ -99,11 +103,12 @@ func main() {
 		"alloc":               bench.Alloc,
 		"finetune":            bench.Finetune,
 		"recover":             bench.Recover,
+		"replicate":           bench.Replicate,
 		"loadhttp":            bench.LoadHTTP, // excluded from `all`: meant for a live server (self-hosts when -serve-addr is empty)
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve", "ingest", "alloc", "finetune", "recover"}
+		"pipeline", "serve", "ingest", "alloc", "finetune", "recover", "replicate"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

@@ -26,6 +26,16 @@
 //
 // Out-of-order events are rejected with HTTP 409 and the current watermark
 // in the error body, so producers can resynchronize.
+//
+// Replication (internal/replica): a durable node serves its WAL to read
+// replicas under /v1/repl/ (or on a dedicated -repl-listen address). A node
+// started with -replicate-from tails that leader instead of bootstrapping
+// from the dataset: it catches up from the leader's shipped checkpoint,
+// applies the streamed log through the identical ingest path (so its state
+// is bitwise-equal to the leader's at every applied sequence), serves reads,
+// and answers ingest with 421 + the leader's URL. POST /v1/repl/promote (or
+// -promote at startup, or -failover-after of leader silence) seals the
+// applied prefix and makes the node writable — the leader hand-off.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 
 	"taser/internal/datasets"
 	"taser/internal/finetune"
+	"taser/internal/replica"
 	"taser/internal/sampler"
 	"taser/internal/serve"
 	"taser/internal/train"
@@ -72,8 +83,15 @@ func main() {
 		ftInterval = flag.Duration("finetune-interval", 0, "fine-tune round cadence (0 = finetune default)")
 		ftWindow   = flag.Int("replay-window", 0, "recent events replayed per fine-tune round (0 = finetune default)")
 		ftLR       = flag.Float64("finetune-lr", 0, "fine-tuning learning rate (0 = finetune default)")
+
+		replFrom   = flag.String("replicate-from", "", "run as a read replica tailing this leader base URL (e.g. http://host:8080)")
+		replListen = flag.String("repl-listen", "", "serve the replication endpoints on a dedicated address (default: mounted under /v1/repl/ on -addr)")
+		promote    = flag.Bool("promote", false, "promote immediately after catching up (replica takes over as leader)")
+		failover   = flag.Duration("failover-after", 0, "auto-promote after this much leader silence (0 = manual promotion only)")
+		lagBound   = flag.Uint64("lag-threshold", 0, "replication lag above which /v1/healthz reports unready (0 = replica default)")
 	)
 	flag.Parse()
+	validateFlags(*walDir, *replFrom, *replListen, *promote, *ftOn, *replay)
 
 	ds, ok := datasets.ByName(*dataset, *scale, *seed)
 	if !ok {
@@ -132,7 +150,7 @@ func main() {
 		}
 	}
 	feats := ds.EdgeFeat
-	if !recovered {
+	if !recovered && *replFrom == "" {
 		if err := engine.Bootstrap(ds.Graph.Events[:ds.TrainEnd], feats.SliceRows(ds.TrainEnd)); err != nil {
 			fmt.Fprintf(os.Stderr, "taser-serve: bootstrap: %v\n", err)
 			os.Exit(1)
@@ -155,6 +173,29 @@ func main() {
 		engine.PublishSnapshot() // serve the replayed tail immediately
 		wm, _ := engine.Watermark()
 		fmt.Printf("replayed to watermark t=%v\n", wm)
+	}
+
+	// Follower: catch up from the leader's checkpoint (on top of whatever the
+	// local durable store already recovered), then tail its WAL. The dataset
+	// bootstrap above is skipped — the stream, training split included,
+	// arrives from the leader, so the two states stay bitwise-equal.
+	var follower *replica.Follower
+	if *replFrom != "" {
+		follower, err = replica.StartFollower(replica.FollowerConfig{
+			Engine: engine, Leader: *replFrom,
+			FailoverAfter: *failover, LagThreshold: *lagBound,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: replicate: %v\n", err)
+			os.Exit(1)
+		}
+		st := follower.Status()
+		fmt.Printf("replicating from %s: %d events applied at start (leader synced %d)\n",
+			*replFrom, st.Applied, st.LeaderSeq)
+		if *promote {
+			follower.Promote()
+			fmt.Println("promoted: this node is now the writable leader")
+		}
 	}
 
 	var tuner *finetune.Tuner
@@ -180,12 +221,57 @@ func main() {
 	// block until process kill and the deferred closes would never run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(engine)}
+	hc := serve.HandlerConfig{}
+	if follower != nil {
+		hc.LeaderURL = func() string { return *replFrom }
+		hc.StatsExtra = follower.StatsExtra
+		hc.Health = follower.Healthy
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandlerConfig(engine, hc))
+	if follower != nil {
+		mux.HandleFunc("POST /v1/repl/promote", func(w http.ResponseWriter, r *http.Request) {
+			follower.Promote()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"promoted":true}`)
+		})
+	}
+	var replSrv *http.Server
+	if *walDir != "" {
+		// A durable node is a shippable log: mount the leader endpoints so
+		// replicas (and, after a promotion, the demoted ex-leader) can tail it.
+		leader, err := replica.NewLeader(engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
+			os.Exit(1)
+		}
+		if *replListen != "" {
+			replSrv = &http.Server{Addr: *replListen, Handler: leader.Handler()}
+			go func() {
+				if err := replSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "taser-serve: repl listener: %v\n", err)
+				}
+			}()
+			fmt.Printf("replication endpoints on %s\n", *replListen)
+		} else {
+			mux.Handle("GET /v1/repl/", leader.Handler())
+		}
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s\n", *addr)
 
 	shutdown := func() {
+		if follower != nil {
+			follower.Close() // stop tailing before the engine goes away
+			st := follower.Status()
+			fmt.Printf("replication: state %v, %d applied (leader synced %d, lag %d), %d polls (%d fault, %d dup)\n",
+				st.State, st.Applied, st.LeaderSeq, st.Lag, st.Polls, st.FaultPolls, st.DupRecords)
+		}
+		if replSrv != nil {
+			_ = replSrv.Close()
+		}
 		if tuner != nil {
 			tuner.Close()
 			st := tuner.Stats()
@@ -218,4 +304,43 @@ func main() {
 	}
 	shutdown()
 	fmt.Println("bye")
+}
+
+// validateFlags fails fast on contradictory flag combinations instead of
+// letting them surface as confusing runtime behavior (a -checkpoint-every
+// that silently does nothing, a -promote with no leader to catch up from).
+func validateFlags(walDir, replFrom, replListen string, promote, ftOn, replay bool) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "taser-serve: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	if walDir == "" {
+		for _, name := range []string{"recover", "wal-sync-every", "checkpoint-every"} {
+			if explicit[name] {
+				fail("-%s requires -wal-dir (durability is off without a store directory)", name)
+			}
+		}
+		if replListen != "" {
+			fail("-repl-listen requires -wal-dir (a leader ships its WAL; there is no log without one)")
+		}
+	}
+	if replFrom == "" {
+		if promote {
+			fail("-promote requires -replicate-from (only a replica can be promoted)")
+		}
+		for _, name := range []string{"failover-after", "lag-threshold"} {
+			if explicit[name] {
+				fail("-%s requires -replicate-from", name)
+			}
+		}
+		return
+	}
+	if ftOn {
+		fail("-finetune cannot run on a replica: weights replicate from the leader's checkpoints")
+	}
+	if replay {
+		fail("-replay cannot run on a replica: the stream arrives from the leader")
+	}
 }

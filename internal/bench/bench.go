@@ -61,6 +61,11 @@ type Options struct {
 	RecoverEvents    []int // stream lengths per Table A row (default 1024,4096,16384)
 	RecoverSyncEvery int   // WAL group-commit interval (default 64)
 
+	// Replication experiment knobs (-exp replicate); zero values pick the
+	// defaults documented in Replicate.
+	ReplicateEvents []int // catch-up stream lengths (default 1024,4096,16384)
+	ReplicateRates  []int // leader ingest rates, events/sec (default 1000,4000,16000)
+
 	// HTTP load-generator knobs (-exp loadhttp). Empty ServeAddr self-hosts
 	// an in-process HTTP server; otherwise the generator drives a live
 	// taser-serve at that base URL (e.g. http://127.0.0.1:8080).

@@ -1,0 +1,534 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taser/internal/serve"
+	"taser/internal/tensor"
+	"taser/internal/wal"
+)
+
+// ErrDiverged reports a follower whose applied stream is longer than the
+// leader's synced log: the two histories are no longer prefix-related
+// (typically this node was promoted and wrote, or the leader restarted from
+// an older store). Replication cannot merge histories — the operator must
+// restart the follower over a fresh (or leader-prefix) durable directory.
+var ErrDiverged = errors.New("replica: follower stream diverged from leader log")
+
+// State is a follower's lifecycle position.
+type State int32
+
+const (
+	// StateCatchup: bootstrapping from the shipped checkpoint and the first
+	// log polls; not yet serving within the lag bound.
+	StateCatchup State = iota
+	// StateTailing: steady-state log shipping; read-only serving.
+	StateTailing
+	// StatePromoted: this node sealed its prefix and became writable; the
+	// replication loop has exited.
+	StatePromoted
+	// StateFailed: an unrecoverable error (divergence, local WAL failure)
+	// stopped replication; the node keeps serving its read-only prefix.
+	StateFailed
+	// StateClosed: Close was called.
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCatchup:
+		return "catchup"
+	case StateTailing:
+		return "tailing"
+	case StatePromoted:
+		return "promoted"
+	case StateFailed:
+		return "failed"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// FollowerConfig configures StartFollower.
+type FollowerConfig struct {
+	Engine *serve.Engine // local engine; made read-only until promotion
+	Leader string        // leader base URL, e.g. "http://10.0.0.1:8191"
+
+	Client         *http.Client  // default: http.Client{Timeout: 30s}
+	PollInterval   time.Duration // pause between empty polls (default 200ms)
+	LagThreshold   uint64        // Healthy() bound on synced-minus-applied (default 4096)
+	CatchupRetries int           // attempts for the initial checkpoint catch-up (default 3)
+	// FailoverAfter > 0 arms automatic promotion: if every poll fails to
+	// reach the leader for this long, the follower seals and takes over.
+	// 0 leaves promotion manual (Promote).
+	FailoverAfter time.Duration
+}
+
+// Follower replicates a leader's stream into a local engine and serves
+// reads from it. Writes are rejected (serve.ErrReadOnly → HTTP 421) until
+// promotion. The local engine may itself be durable — then every applied
+// record also lands in the follower's own WAL, so a promoted follower is
+// immediately a first-class leader and a crashed follower recovers locally
+// instead of re-shipping the whole stream.
+type Follower struct {
+	cfg    FollowerConfig
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex // serializes promotion/close finalization
+	failErr error      // set once when state becomes StateFailed
+
+	state       atomic.Int32
+	applied     atomic.Uint64 // records applied to the local engine
+	leaderSeq   atomic.Uint64 // leader's synced seq at last successful poll
+	lastContact atomic.Int64  // unix nanos of the last response from the leader
+	polls       atomic.Uint64 // /wal polls attempted
+	faultPolls  atomic.Uint64 // polls cut short by torn/corrupt/gapped chunks
+	dupRecords  atomic.Uint64 // records skipped as duplicates (seq < applied)
+	weightsSeen atomic.Uint64 // newest leader weight version already fetched
+}
+
+// StartFollower catches the engine up from the leader's shipped checkpoint,
+// then starts the background tail loop. The engine is flipped read-only
+// before the first record is applied and stays so until promotion. The
+// engine should be fresh or a recovered prefix of this leader's stream
+// (anything longer fails with ErrDiverged).
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("replica: FollowerConfig.Engine is required")
+	}
+	if cfg.Leader == "" {
+		return nil, fmt.Errorf("replica: FollowerConfig.Leader is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.LagThreshold == 0 {
+		cfg.LagThreshold = 4096
+	}
+	if cfg.CatchupRetries <= 0 {
+		cfg.CatchupRetries = 3
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{cfg: cfg, cancel: cancel, done: make(chan struct{})}
+	f.state.Store(int32(StateCatchup))
+	cfg.Engine.SetWritable(false)
+	if err := f.catchUp(ctx); err != nil {
+		cancel()
+		close(f.done)
+		cfg.Engine.SetWritable(true) // hand the engine back untouched-by-policy
+		return nil, err
+	}
+	go f.loop(ctx)
+	return f, nil
+}
+
+// catchUp bootstraps from the leader's newest checkpoint: one bulk
+// ApplyPrefix replaces what would be thousands of per-record polls, exactly
+// as local recovery bulk-loads a checkpoint before replaying the WAL
+// suffix. Transient failures (a leader mid-restart, a killed connection)
+// are retried; divergence is not.
+func (f *Follower) catchUp(ctx context.Context) error {
+	var err error
+	for attempt := 0; attempt < f.cfg.CatchupRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(f.cfg.PollInterval):
+			}
+		}
+		if err = f.catchUpOnce(ctx); err == nil || errors.Is(err, ErrDiverged) {
+			return err
+		}
+	}
+	return fmt.Errorf("replica: checkpoint catch-up failed after %d attempts: %w", f.cfg.CatchupRetries, err)
+}
+
+func (f *Follower) catchUpOnce(ctx context.Context) error {
+	e := f.cfg.Engine
+	applied := uint64(e.NumEvents())
+	st, err := f.fetchStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if applied > st.Synced {
+		return fmt.Errorf("%w: %d events applied locally, leader synced %d", ErrDiverged, applied, st.Synced)
+	}
+	f.leaderSeq.Store(st.Synced)
+	f.lastContact.Store(time.Now().UnixNano())
+	if uint64(st.CheckpointEvents) <= applied {
+		f.applied.Store(applied)
+		return nil // the log tail covers the rest; no checkpoint needed
+	}
+	ck, err := f.fetchCheckpoint(ctx)
+	if err != nil {
+		return err
+	}
+	if ck == nil || uint64(len(ck.Events)) <= applied {
+		// The checkpoint regressed between /status and /checkpoint (e.g. the
+		// newest file was replaced); the log tail will cover the gap.
+		f.applied.Store(applied)
+		return nil
+	}
+	var feats *tensor.Matrix
+	if ck.EdgeDim > 0 {
+		rows := len(ck.Events) - int(applied)
+		feats = tensor.FromSlice(rows, ck.EdgeDim, ck.Feats[int(applied)*ck.EdgeDim:])
+	}
+	if err := e.ApplyPrefix(ck.Events[applied:], feats); err != nil {
+		return fmt.Errorf("replica: applying checkpoint suffix: %w", err)
+	}
+	f.applied.Store(uint64(e.NumEvents()))
+	f.publishWeights(ck)
+	return nil
+}
+
+// loop is the tail loop: poll the leader's log, apply, repeat. It exits on
+// Close, on promotion (manual or automatic failover), or on a fatal error.
+func (f *Follower) loop(ctx context.Context) {
+	defer close(f.done)
+	f.state.Store(int32(StateTailing))
+	for {
+		n, contact, err := f.pollOnce(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		now := time.Now()
+		if contact {
+			f.lastContact.Store(now.UnixNano())
+		}
+		switch {
+		case err != nil && (errors.Is(err, ErrDiverged) || errors.Is(err, serve.ErrDurability)):
+			// Divergence cannot heal; a sticky local WAL failure means no
+			// record will ever be admitted again. Stop and keep serving the
+			// consistent read-only prefix.
+			f.fail(err)
+			return
+		case err == nil && n > 0:
+			continue // records flowed; drain the backlog without sleeping
+		}
+		if f.cfg.FailoverAfter > 0 && now.Sub(time.Unix(0, f.lastContact.Load())) >= f.cfg.FailoverAfter {
+			// Leader declared dead: take over. The sealed prefix is exactly
+			// the synced records the leader shipped, so the hand-off loses at
+			// most the leader's unsynced tail (< its SyncEvery).
+			f.finalizePromotion()
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.cfg.PollInterval):
+		}
+	}
+}
+
+// pollOnce requests the log suffix past the follower's applied sequence and
+// applies what survives validation. Returns the number of records applied
+// and whether the leader was reached at all (fault-injected torn or corrupt
+// chunks count as contact — the leader is alive, the transport lied).
+//
+// Fault handling is positional: record i of a response that started at
+// sequence s carries sequence s+i. A record below the applied counter is a
+// duplicated chunk — skipped. A record above it is a gap (an earlier record
+// was consumed by corruption) — the rest of the response is useless and the
+// poll is abandoned. A checksum failure or truncation abandons the poll
+// likewise. Every abandoned poll restarts from the applied counter, so
+// faults cost retries, never consistency.
+func (f *Follower) pollOnce(ctx context.Context) (appliedN int, contact bool, err error) {
+	e := f.cfg.Engine
+	f.polls.Add(1)
+	from := f.applied.Load()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.cfg.Leader+"/v1/repl/wal?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusConflict {
+		return 0, true, fmt.Errorf("%w: leader refused seq %d", ErrDiverged, from)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, true, fmt.Errorf("replica: leader returned %s for /v1/repl/wal", resp.Status)
+	}
+	if v, perr := strconv.ParseUint(resp.Header.Get(hdrSeq), 10, 64); perr == nil {
+		f.leaderSeq.Store(v)
+	}
+	firstSeq := from
+	if v, perr := strconv.ParseUint(resp.Header.Get(hdrFrom), 10, 64); perr == nil {
+		firstSeq = v
+	}
+	sr := wal.NewStreamReader(resp.Body)
+	for i := 0; ; i++ {
+		rec, rerr := sr.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Torn (truncated mid-record) or corrupt (checksum) chunk: the
+			// validated prefix already applied stands; re-poll for the rest.
+			f.faultPolls.Add(1)
+			break
+		}
+		seq := firstSeq + uint64(i)
+		cur := f.applied.Load()
+		if seq < cur {
+			f.dupRecords.Add(1)
+			continue
+		}
+		if seq > cur {
+			f.faultPolls.Add(1) // gap: an expected record was consumed by a fault
+			break
+		}
+		if aerr := e.Apply(rec.Src, rec.Dst, rec.T, rec.Feat); aerr != nil {
+			return appliedN, true, fmt.Errorf("replica: applying record %d: %w", seq, aerr)
+		}
+		f.applied.Add(1)
+		appliedN++
+	}
+	f.maybeFetchWeights(ctx, resp.Header.Get(hdrWeights))
+	return appliedN, true, nil
+}
+
+// maybeFetchWeights re-fetches the leader checkpoint when its advertised
+// weight version is ahead of anything this follower has published. Weights
+// ride checkpoints (every accepted publication writes one, DESIGN.md §9),
+// so the newest checkpoint always carries the advertised version or newer.
+func (f *Follower) maybeFetchWeights(ctx context.Context, hdr string) {
+	v, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil || v <= f.weightsSeen.Load() || v <= f.cfg.Engine.WeightVersion() {
+		return
+	}
+	ck, err := f.fetchCheckpoint(ctx)
+	if err != nil || ck == nil {
+		return // transient; the next poll's header will trigger a retry
+	}
+	f.publishWeights(ck)
+}
+
+// publishWeights publishes a checkpoint's weight set locally. "Not newer"
+// rejections are expected crossings (another path already published it) and
+// are not errors.
+func (f *Follower) publishWeights(ck *wal.Checkpoint) {
+	if ck.Weights == nil {
+		return
+	}
+	if v := ck.Weights.Version; v > f.weightsSeen.Load() {
+		f.weightsSeen.Store(v)
+	}
+	_ = f.cfg.Engine.PublishWeights(ck.Weights)
+}
+
+type leaderStatus struct {
+	Seq              uint64 `json:"seq"`
+	Synced           uint64 `json:"synced"`
+	CheckpointEvents int    `json:"checkpoint_events"`
+	WeightVersion    uint64 `json:"weight_version"`
+	Writable         bool   `json:"writable"`
+}
+
+func (f *Follower) fetchStatus(ctx context.Context) (leaderStatus, error) {
+	var st leaderStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+"/v1/repl/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("replica: leader returned %s for /v1/repl/status", resp.Status)
+	}
+	return st, decodeJSON(resp.Body, &st)
+}
+
+// fetchCheckpoint downloads and decodes the leader's newest checkpoint
+// (nil when the leader has none yet).
+func (f *Follower) fetchCheckpoint(ctx context.Context) (*wal.Checkpoint, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Leader+"/v1/repl/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: leader returned %s for /v1/repl/checkpoint", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading shipped checkpoint: %w", err)
+	}
+	// DecodeCheckpoint checksums every section, so a torn or corrupted
+	// shipment is rejected here, never applied.
+	ck, err := wal.DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("replica: shipped checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+// Promote stops replication and makes the local engine writable: the
+// applied prefix is sealed with a checkpoint (when the engine is durable)
+// and the read-only gate lifts. Safe to call at any point after
+// StartFollower; idempotent.
+func (f *Follower) Promote() {
+	f.cancel()
+	<-f.done
+	f.finalizePromotion()
+}
+
+// finalizePromotion is the promotion commit point, shared by Promote and
+// the loop's automatic failover (which must not wait on its own exit).
+func (f *Follower) finalizePromotion() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if State(f.state.Load()) == StatePromoted {
+		return
+	}
+	if _, _, ok := f.cfg.Engine.Durable(); ok {
+		// Seal: checkpoint the applied prefix so the new leader's store
+		// covers everything it will serve before the first write lands.
+		_ = f.cfg.Engine.Checkpoint()
+	}
+	f.cfg.Engine.SetWritable(true)
+	f.state.Store(int32(StatePromoted))
+}
+
+// fail records a terminal replication error; the engine keeps serving its
+// read-only prefix.
+func (f *Follower) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failErr = err
+	f.state.Store(int32(StateFailed))
+}
+
+// Close stops the replication loop without promoting. The engine is left
+// read-only (the caller owns its shutdown).
+func (f *Follower) Close() {
+	f.cancel()
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := State(f.state.Load()); s != StatePromoted && s != StateFailed {
+		f.state.Store(int32(StateClosed))
+	}
+}
+
+// Status is a point-in-time snapshot of the replication loop.
+type Status struct {
+	State       State
+	Applied     uint64    // records applied to the local engine
+	LeaderSeq   uint64    // leader's synced sequence at last contact
+	Lag         uint64    // LeaderSeq - Applied (0 when caught up or ahead)
+	LastContact time.Time // zero = never reached the leader
+	Polls       uint64
+	FaultPolls  uint64 // polls cut short by torn/corrupt/gapped chunks
+	DupRecords  uint64 // duplicated records skipped
+	Err         error  // terminal error when State == StateFailed
+}
+
+func (f *Follower) Status() Status {
+	st := Status{
+		State:      State(f.state.Load()),
+		Applied:    f.applied.Load(),
+		LeaderSeq:  f.leaderSeq.Load(),
+		Polls:      f.polls.Load(),
+		FaultPolls: f.faultPolls.Load(),
+		DupRecords: f.dupRecords.Load(),
+	}
+	if st.LeaderSeq > st.Applied {
+		st.Lag = st.LeaderSeq - st.Applied
+	}
+	if ns := f.lastContact.Load(); ns != 0 {
+		st.LastContact = time.Unix(0, ns)
+	}
+	f.mu.Lock()
+	st.Err = f.failErr
+	f.mu.Unlock()
+	return st
+}
+
+// Healthy is the /v1/healthz readiness predicate (serve.HandlerConfig.Health):
+// nil when this node can serve its role — a tailing follower within the lag
+// bound and in recent contact with the leader, or a promoted leader.
+func (f *Follower) Healthy() error {
+	st := f.Status()
+	switch st.State {
+	case StatePromoted:
+		return nil
+	case StateTailing:
+		if st.Lag > f.cfg.LagThreshold {
+			return fmt.Errorf("replica: lag %d exceeds threshold %d", st.Lag, f.cfg.LagThreshold)
+		}
+		if stale := time.Since(st.LastContact); stale > f.staleBound() {
+			return fmt.Errorf("replica: no leader contact for %v", stale.Round(time.Millisecond))
+		}
+		return nil
+	case StateFailed:
+		return fmt.Errorf("replica: replication failed: %w", st.Err)
+	default:
+		return fmt.Errorf("replica: not ready (%v)", st.State)
+	}
+}
+
+// staleBound is how long the follower may go without leader contact before
+// reporting unhealthy: the failover deadline when armed, else a few polls.
+func (f *Follower) staleBound() time.Duration {
+	if f.cfg.FailoverAfter > 0 {
+		return f.cfg.FailoverAfter
+	}
+	return 5 * f.cfg.PollInterval
+}
+
+// StatsExtra is the serve.HandlerConfig.StatsExtra hook: replication fields
+// merged into /v1/stats.
+func (f *Follower) StatsExtra() map[string]any {
+	st := f.Status()
+	role := "follower"
+	if st.State == StatePromoted {
+		role = "leader"
+	}
+	return map[string]any{
+		"repl_role":        role,
+		"repl_state":       st.State.String(),
+		"repl_applied":     st.Applied,
+		"repl_leader_seq":  st.LeaderSeq,
+		"repl_lag":         st.Lag,
+		"repl_polls":       st.Polls,
+		"repl_fault_polls": st.FaultPolls,
+		"repl_dup_records": st.DupRecords,
+	}
+}
+
+func decodeJSON(r io.Reader, dst any) error {
+	return json.NewDecoder(r).Decode(dst)
+}

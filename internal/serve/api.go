@@ -5,7 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
+
+// HandlerConfig customizes NewHandlerConfig for a replication topology. The
+// zero value is a plain standalone engine (what NewHandler mounts).
+type HandlerConfig struct {
+	// LeaderURL, when non-nil, marks this node a replica: writes rejected
+	// with ErrReadOnly are answered 421 Misdirected Request carrying the
+	// leader's base URL (in the JSON body and the X-Taser-Leader header) so
+	// producers re-aim their stream. The function is consulted per request —
+	// the leader can change after a promotion.
+	LeaderURL func() string
+	// StatsExtra, when non-nil, is merged into the /v1/stats JSON (the
+	// replication layer reports role, lag and applied sequence through it).
+	StatsExtra func() map[string]any
+	// Health, when non-nil, is an extra readiness predicate for /v1/healthz
+	// (a follower reports unhealthy while its lag exceeds the threshold).
+	// The WAL sticky-failure check always applies.
+	Health func() error
+}
 
 // NewHandler exposes an engine behind the HTTP/JSON API cmd/taser-serve
 // mounts (and the HTTP load generator drives). Endpoints:
@@ -14,10 +33,15 @@ import (
 //	POST /v1/predict  {"src":1,"dst":2,"t":123.5}                → {"score":S,"version":V,"weights":W,"cached":B}
 //	POST /v1/embed    {"node":1,"t":123.5}                       → {"embedding":[...],"version":V,"weights":W,"cached":B}
 //	GET  /v1/stats                                               → engine counters and latency percentiles
+//	GET  /v1/healthz                                             → 200 when ready, 503 otherwise
 //
 // Out-of-order events are rejected with HTTP 409 and the current watermark
-// in the error body, so producers can resynchronize.
-func NewHandler(e *Engine) http.Handler {
+// in the error body, so producers can resynchronize. On a read-only replica
+// ingest is rejected with 421 and the leader's URL (see HandlerConfig).
+func NewHandler(e *Engine) http.Handler { return NewHandlerConfig(e, HandlerConfig{}) }
+
+// NewHandlerConfig is NewHandler with replication-aware knobs.
+func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -37,6 +61,19 @@ func NewHandler(e *Engine) http.Handler {
 				// The durable store failed; the event was not admitted and
 				// the engine will not admit more until restarted.
 				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrReadOnly):
+				// A replica follower: tell the producer where the leader is.
+				leader := ""
+				if hc.LeaderURL != nil {
+					leader = hc.LeaderURL()
+				}
+				w.Header().Set("X-Taser-Leader", leader)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusMisdirectedRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": err.Error(), "leader": leader,
+				})
+				return
 			}
 			writeErr(w, code, err)
 			return
@@ -83,7 +120,11 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := e.Stats()
 		liveWM, hasLiveWM := e.Watermark() // may be ahead of the snapshot's
-		writeJSON(w, map[string]any{
+		ckptAgeMS := int64(-1)             // -1 = no checkpoint yet
+		if !st.LastCheckpoint.IsZero() {
+			ckptAgeMS = time.Since(st.LastCheckpoint).Milliseconds()
+		}
+		out := map[string]any{
 			"live_watermark": liveWM, "has_live_watermark": hasLiveWM,
 			"requests": st.Requests, "batches": st.Batches,
 			"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
@@ -94,13 +135,41 @@ func NewHandler(e *Engine) http.Handler {
 			"weight_version": st.WeightVersion, "weight_swaps": st.WeightSwaps,
 			"avg_swap_us":  st.AvgSwap.Microseconds(),
 			"durable":      st.Durable,
+			"read_only":    st.ReadOnly,
 			"wal_appended": st.WALAppended, "wal_synced": st.WALSynced,
 			"wal_syncs": st.WALSyncs, "wal_segments": st.WALSegments,
 			"wal_failures": st.WALFailures,
 			"checkpoints":  st.Checkpoints, "checkpoint_fails": st.CheckpointFails,
 			"checkpoint_events": st.CheckpointEvents,
+			"checkpoint_age_ms": ckptAgeMS,
 			"p50_us":            st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
-		})
+		}
+		if hc.StatsExtra != nil {
+			for k, v := range hc.StatsExtra() {
+				out[k] = v
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness for a load balancer: the WAL must be healthy (a sticky
+		// WAL failure means no write will ever be admitted again) and any
+		// topology-specific predicate must pass (a follower's lag bound).
+		err := e.DurableErr()
+		if err == nil && hc.Health != nil {
+			err = hc.Health()
+		}
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{"status": "unhealthy", "error": err.Error()})
+			return
+		}
+		role := "leader"
+		if !e.Writable() {
+			role = "follower"
+		}
+		writeJSON(w, map[string]any{"status": "ok", "role": role, "writable": e.Writable()})
 	})
 	return mux
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -89,3 +90,86 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatalf("malformed body: %d", r2.StatusCode)
 	}
 }
+
+// TestHandlerReplicaSurface exercises the replication-aware HTTP surface: a
+// read-only engine answers ingest with 421 + the leader's URL, /v1/healthz
+// reflects role, writability and the injected readiness predicate, and
+// /v1/stats carries read_only, checkpoint age and the merged extra fields.
+func TestHandlerReplicaSurface(t *testing.T) {
+	e, _ := newWeightTestEngine(t, 0)
+	var healthErr error
+	srv := httptest.NewServer(NewHandlerConfig(e, HandlerConfig{
+		LeaderURL:  func() string { return "http://leader.example:8191" },
+		StatsExtra: func() map[string]any { return map[string]any{"repl_lag": 7} },
+		Health:     func() error { return healthErr },
+	}))
+	defer srv.Close()
+
+	getJSON := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Writable engine: healthy leader, ingest accepted.
+	code, out := getJSON("/v1/healthz")
+	if code != http.StatusOK || out["role"] != "leader" || out["writable"] != true {
+		t.Fatalf("healthz on leader: %d %v", code, out)
+	}
+
+	// Flip read-only: the node is a follower now.
+	e.SetWritable(false)
+	wm, _ := e.Watermark()
+	body, _ := json.Marshal(map[string]any{"src": 1, "dst": 2, "t": wm + 1})
+	resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("read-only ingest: %d, want 421", resp.StatusCode)
+	}
+	if rej["leader"] != "http://leader.example:8191" ||
+		resp.Header.Get("X-Taser-Leader") != "http://leader.example:8191" {
+		t.Fatalf("read-only ingest did not point at the leader: %v / %q",
+			rej, resp.Header.Get("X-Taser-Leader"))
+	}
+
+	code, out = getJSON("/v1/healthz")
+	if code != http.StatusOK || out["role"] != "follower" || out["writable"] != false {
+		t.Fatalf("healthz on follower: %d %v", code, out)
+	}
+
+	// The injected predicate (a follower over its lag bound) flips 503.
+	healthErr = errDummyUnhealthy
+	code, out = getJSON("/v1/healthz")
+	if code != http.StatusServiceUnavailable || out["status"] != "unhealthy" {
+		t.Fatalf("unhealthy healthz: %d %v", code, out)
+	}
+	healthErr = nil
+
+	code, st := getJSON("/v1/stats")
+	if code != http.StatusOK || st["read_only"] != true {
+		t.Fatalf("stats read_only: %d %v", code, st["read_only"])
+	}
+	if st["repl_lag"].(float64) != 7 {
+		t.Fatalf("stats extra not merged: %v", st["repl_lag"])
+	}
+	if st["checkpoint_age_ms"].(float64) != -1 {
+		t.Fatalf("non-durable engine should report checkpoint age -1, got %v", st["checkpoint_age_ms"])
+	}
+}
+
+var errDummyUnhealthy = errors.New("lag over threshold")

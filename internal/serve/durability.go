@@ -205,4 +205,5 @@ func (e *Engine) checkpointNow() {
 	}
 	e.ckptWrites.Add(1)
 	e.ckptEvents.Store(uint64(len(events)))
+	e.ckptUnix.Store(time.Now().UnixNano())
 }

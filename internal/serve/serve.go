@@ -50,6 +50,13 @@ var ErrClosed = errors.New("serve: engine closed")
 // ErrStaleEvent wraps ingest rejections of events behind the watermark.
 var ErrStaleEvent = errors.New("serve: event behind ingest watermark")
 
+// ErrReadOnly wraps write rejections of a read-only engine — a replica
+// follower, whose stream is owned by the replication loop (internal/replica)
+// tailing the leader's WAL. Clients should redirect the write to the leader;
+// the HTTP layer maps this to 421 Misdirected Request. Promotion
+// (SetWritable(true)) lifts it.
+var ErrReadOnly = errors.New("serve: engine is read-only (replica follower)")
+
 // Config wires a trained model into an online engine. Model and Pred are
 // typically taken from an offline train.Trainer after pretraining.
 //
@@ -209,6 +216,13 @@ type Engine struct {
 	ckptWrites   atomic.Uint64
 	ckptFailures atomic.Uint64
 	ckptEvents   atomic.Uint64 // events covered by the newest checkpoint
+	ckptUnix     atomic.Int64  // wall time of the newest checkpoint write (UnixNano; 0 = none yet)
+
+	// Replication (internal/replica): a follower engine is read-only — the
+	// public write API (Ingest, Bootstrap, PublishSnapshot is still fine)
+	// rejects with ErrReadOnly while the replication loop writes through
+	// Apply/ApplyPrefix. Promotion flips it back.
+	readOnly atomic.Bool
 
 	reqs      chan *request
 	quit      chan struct{}
@@ -311,6 +325,19 @@ func (e *Engine) Close() {
 // the WAL's group commit, so the durable hot path stays allocation-free and
 // a crash loses at most the unsynced tail (Durability.SyncEvery events).
 func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
+	if e.readOnly.Load() {
+		return fmt.Errorf("%w: ingest (%d→%d) must go to the leader", ErrReadOnly, src, dst)
+	}
+	return e.Apply(src, dst, t, feat)
+}
+
+// Apply admits one event exactly like Ingest but bypasses the read-only
+// gate. It exists for the replication loop (internal/replica), which is the
+// sole legitimate writer of a follower engine: replicated records flow
+// through the identical validate→WAL→admit path as leader ingest, so a
+// follower's state is bitwise-equal to the leader's at every applied
+// sequence number. Everything else must call Ingest.
+func (e *Engine) Apply(src, dst int32, t float64, feat []float64) error {
 	if e.cfg.EdgeDim > 0 && feat != nil && len(feat) != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), e.cfg.EdgeDim)
 	}
@@ -374,6 +401,18 @@ func (e *Engine) ingestOne(src, dst int32, t float64, feat []float64) (checkpoin
 // written, so a restart recovers the bootstrap from the checkpoint instead
 // of replaying it event by event.
 func (e *Engine) Bootstrap(events []tgraph.Event, feats *tensor.Matrix) error {
+	if e.readOnly.Load() {
+		return fmt.Errorf("%w: bootstrap must go to the leader", ErrReadOnly)
+	}
+	return e.ApplyPrefix(events, feats)
+}
+
+// ApplyPrefix bulk-applies an event run exactly like Bootstrap but bypasses
+// the read-only gate — the checkpoint catch-up path of internal/replica,
+// which extends a follower's stream with the suffix of a leader checkpoint
+// under one writer lock and one snapshot publication. Everything else must
+// call Bootstrap.
+func (e *Engine) ApplyPrefix(events []tgraph.Event, feats *tensor.Matrix) error {
 	if feats != nil && feats.Cols != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: bootstrap feature width %d, want %d", feats.Cols, e.cfg.EdgeDim)
 	}
@@ -492,6 +531,51 @@ func (e *Engine) WeightVersion() uint64 { return e.weightVersion.Load() }
 // tuner (zero values mean "use the tuner's defaults").
 func (e *Engine) FinetuneHints() (interval time.Duration, replayWindow int) {
 	return e.cfg.FinetuneInterval, e.cfg.ReplayWindow
+}
+
+// SetWritable flips the engine between writable (the default) and read-only.
+// A read-only engine rejects Ingest and Bootstrap with ErrReadOnly while
+// serving predictions and embeddings normally; the replication loop writes
+// through Apply/ApplyPrefix. Promotion of a follower is SetWritable(true).
+func (e *Engine) SetWritable(w bool) { e.readOnly.Store(!w) }
+
+// Writable reports whether the public write API is open.
+func (e *Engine) Writable() bool { return !e.readOnly.Load() }
+
+// Durable exposes the engine's durable store location (and file-op layer)
+// for the replication leader, which serves the WAL and checkpoints over
+// HTTP. ok is false when durability is off — such an engine cannot lead.
+func (e *Engine) Durable() (fsys wal.FS, dir string, ok bool) {
+	if e.wlog == nil {
+		return nil, "", false
+	}
+	return e.cfg.Durability.FS, e.cfg.Durability.Dir, true
+}
+
+// DurableErr reports the WAL's sticky failure: nil while the log is healthy
+// or durability is off. A non-nil value means no further events can be made
+// durable until the process restarts over a repaired store — the leader-side
+// health check (/v1/healthz) keys on it.
+func (e *Engine) DurableErr() error {
+	if e.wlog == nil {
+		return nil
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.wlog.Err()
+}
+
+// Checkpoint forces an immediate durable checkpoint of the current stream,
+// watermark and published weights (the same capture PublishWeights and Close
+// perform). Promotion uses it to seal the follower's log at the hand-off
+// point. Write failures are counted in Stats, not returned — the WAL remains
+// the source of truth; the error here only reports a non-durable engine.
+func (e *Engine) Checkpoint() error {
+	if e.wlog == nil {
+		return fmt.Errorf("serve: Checkpoint requires Config.Durability.Dir")
+	}
+	e.checkpointNow()
+	return nil
 }
 
 // Watermark reports the ingest watermark (which may be ahead of the latest

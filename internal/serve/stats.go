@@ -64,14 +64,19 @@ type Stats struct {
 
 	// Durability counters (zero when durability is off; see durability.go).
 	Durable          bool
-	WALAppended      uint64 // events appended to the WAL (buffered tail included)
-	WALSynced        uint64 // events known durable
-	WALSyncs         uint64 // fsync batches performed
-	WALSegments      int    // segment files written across the log's lifetime
-	WALFailures      uint64 // ingest attempts rejected by a failing WAL
-	Checkpoints      uint64 // checkpoints written
-	CheckpointFails  uint64 // checkpoint writes that failed (engine kept serving)
-	CheckpointEvents uint64 // events covered by the newest checkpoint
+	WALAppended      uint64    // events appended to the WAL (buffered tail included)
+	WALSynced        uint64    // events known durable
+	WALSyncs         uint64    // fsync batches performed
+	WALSegments      int       // segment files written across the log's lifetime
+	WALFailures      uint64    // ingest attempts rejected by a failing WAL
+	Checkpoints      uint64    // checkpoints written
+	CheckpointFails  uint64    // checkpoint writes that failed (engine kept serving)
+	CheckpointEvents uint64    // events covered by the newest checkpoint
+	LastCheckpoint   time.Time // wall time of the newest checkpoint write (zero = none yet)
+
+	// ReadOnly reports a replica follower (the public write API rejects with
+	// ErrReadOnly; see internal/replica).
+	ReadOnly bool
 
 	P50, P99 time.Duration // over the recent-latency window
 }
@@ -121,7 +126,11 @@ func (e *Engine) Stats() Stats {
 		s.Checkpoints = e.ckptWrites.Load()
 		s.CheckpointFails = e.ckptFailures.Load()
 		s.CheckpointEvents = e.ckptEvents.Load()
+		if ns := e.ckptUnix.Load(); ns != 0 {
+			s.LastCheckpoint = time.Unix(0, ns)
+		}
 	}
+	s.ReadOnly = e.readOnly.Load()
 	if snap := e.snap.Load(); snap != nil {
 		s.SnapshotVersion = snap.Version
 		s.Watermark = snap.Watermark

@@ -129,6 +129,13 @@ func readSection(data []byte, off int) (payload []byte, next int, err error) {
 	return payload, off + 4, nil
 }
 
+// DecodeCheckpoint parses and validates a checkpoint file's bytes — the
+// follower side of checkpoint shipping (internal/replica): the leader sends
+// the newest checkpoint file verbatim and the receiver validates every
+// section checksum before trusting any of it, exactly as local recovery
+// does.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return decodeCheckpoint(data) }
+
 // decodeCheckpoint parses and validates a checkpoint file's bytes.
 func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if len(data) < 8 || binary.LittleEndian.Uint32(data) != ckptMagic {
@@ -272,6 +279,38 @@ func listCheckpoints(fsys FS, dir string) ([]string, error) {
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(cks))) // zero-padded: lexical == (events, weight version)
 	return cks, nil
+}
+
+// NewestCheckpointBytes returns the raw bytes of the newest checkpoint in
+// dir that validates, for shipping to a catching-up follower (which
+// re-validates with DecodeCheckpoint). events is the event count the
+// checkpoint covers. Returns (nil, 0, nil) when the directory holds no
+// usable checkpoint.
+func NewestCheckpointBytes(fsys FS, dir string) (data []byte, events int, err error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := listCheckpoints(fsys, dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	for _, name := range names {
+		f, err := fsys.Open(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		raw, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		ck, err := decodeCheckpoint(raw)
+		if err != nil {
+			continue // torn or corrupt; fall back to the previous one
+		}
+		return raw, len(ck.Events), nil
+	}
+	return nil, 0, nil
 }
 
 // LatestCheckpoint loads the newest checkpoint in dir that validates,

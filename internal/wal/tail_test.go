@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// multiSegmentLog writes n records across several small segments and returns
+// the records plus the per-segment first sequences (from the segment
+// headers), so tests can aim `from` precisely at boundaries.
+func multiSegmentLog(t *testing.T, dir string, n int) (recs []Record, segFirsts []uint64) {
+	t.Helper()
+	l, err := Open(Config{Dir: dir, SyncEvery: 4, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = synthRecords(n, 2, 77)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range segs {
+		r, err := openSegment(OSFS{}, dir+"/"+name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		segFirsts = append(segFirsts, r.firstSeq)
+		r.close()
+	}
+	if len(segFirsts) < 3 {
+		t.Fatalf("want ≥3 segments for boundary tests, got %d", len(segFirsts))
+	}
+	return recs, segFirsts
+}
+
+// TestReplaySkipAhead pins the skip-ahead contract of Replay(from): a start
+// landing mid-segment, exactly on a segment boundary, one past a boundary,
+// at the log's exact end, and past the end — the last two must replay zero
+// records without error.
+func TestReplaySkipAhead(t *testing.T) {
+	dir := t.TempDir()
+	recs, segFirsts := multiSegmentLog(t, dir, 60)
+
+	mid := segFirsts[1] + (segFirsts[2]-segFirsts[1])/2 // strictly inside segment 1
+	if mid == segFirsts[1] {
+		mid++
+	}
+	cases := []struct {
+		name string
+		from uint64
+	}{
+		{"start", 0},
+		{"mid-segment", mid},
+		{"segment-boundary", segFirsts[2]},
+		{"boundary-plus-one", segFirsts[2] + 1},
+		{"exact-end", uint64(len(recs))},
+		{"past-end", uint64(len(recs)) + 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var seqs []uint64
+			replayed, err := Replay(OSFS{}, dir, tc.from, func(seq uint64, rec Record) error {
+				seqs = append(seqs, seq)
+				want := recs[seq]
+				if rec.Src != want.Src || rec.Dst != want.Dst || rec.T != want.T {
+					t.Fatalf("seq %d: got %+v want %+v", seq, rec, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("replay from %d: %v", tc.from, err)
+			}
+			wantN := uint64(0)
+			if tc.from < uint64(len(recs)) {
+				wantN = uint64(len(recs)) - tc.from
+			}
+			if replayed != wantN {
+				t.Fatalf("replayed %d records from %d, want %d", replayed, tc.from, wantN)
+			}
+			for i, seq := range seqs {
+				if seq != tc.from+uint64(i) {
+					t.Fatalf("out-of-order replay: position %d got seq %d", i, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestTailFromMatchesReplay: the pull iterator yields exactly the records
+// Replay pushes, from every starting offset.
+func TestTailFromMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs, segFirsts := multiSegmentLog(t, dir, 40)
+	for _, from := range []uint64{0, 7, segFirsts[1], segFirsts[1] + 1, uint64(len(recs)) - 1, uint64(len(recs))} {
+		tail, err := TailFrom(OSFS{}, dir, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		for {
+			seq, rec, err := tail.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("tail from %d: %v", from, err)
+			}
+			if seq != from+uint64(len(got)) {
+				t.Fatalf("tail from %d: seq %d at position %d", from, seq, len(got))
+			}
+			r := rec
+			r.Feat = append([]float64(nil), rec.Feat...)
+			got = append(got, r)
+		}
+		tail.Close()
+		sameRecords(t, got, recs[from:])
+	}
+}
+
+// TestStreamCodecRoundTrip: AppendRecord frames decode back bitwise through
+// StreamReader — the wire format of log shipping is the disk format.
+func TestStreamCodecRoundTrip(t *testing.T) {
+	recs := synthRecords(32, 3, 5)
+	recs = append(recs, Record{Src: 1, Dst: 2, T: -7.25}) // nil-feat record
+	var wire []byte
+	for _, r := range recs {
+		wire = AppendRecord(wire, r.Src, r.Dst, r.T, r.Feat)
+	}
+	sr := NewStreamReader(bytes.NewReader(wire))
+	var got []Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rec
+		r.Feat = append([]float64(nil), rec.Feat...)
+		got = append(got, r)
+	}
+	sameRecords(t, got, recs)
+}
+
+// TestStreamReaderFaults: a truncated stream reports ErrTorn after yielding
+// the intact prefix; a corrupted byte reports a checksum error without
+// yielding the bad record. Both are the retry signals the follower loop
+// keys on.
+func TestStreamReaderFaults(t *testing.T) {
+	recs := synthRecords(8, 2, 13)
+	var wire []byte
+	var bounds []int // frame end offsets
+	for _, r := range recs {
+		wire = AppendRecord(wire, r.Src, r.Dst, r.T, r.Feat)
+		bounds = append(bounds, len(wire))
+	}
+
+	// Torn mid-record: cut inside frame 5.
+	cut := bounds[4] + (bounds[5]-bounds[4])/2
+	sr := NewStreamReader(bytes.NewReader(wire[:cut]))
+	n := 0
+	for {
+		_, err := sr.Next()
+		if err == nil {
+			n++
+			continue
+		}
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("want ErrTorn after %d records, got %v", n, err)
+		}
+		break
+	}
+	if n != 5 {
+		t.Fatalf("torn stream yielded %d records, want 5", n)
+	}
+
+	// Corruption: flip a payload byte inside frame 3 (past its length
+	// prefix); frames 0–2 decode, frame 3 fails its checksum.
+	bad := append([]byte(nil), wire...)
+	bad[bounds[2]+10] ^= 0xff
+	sr = NewStreamReader(bytes.NewReader(bad))
+	n = 0
+	for {
+		_, err := sr.Next()
+		if err == nil {
+			n++
+			continue
+		}
+		if errors.Is(err, ErrTorn) || errors.Is(err, io.EOF) {
+			t.Fatalf("corruption must not read as torn/EOF: %v", err)
+		}
+		break
+	}
+	if n != 3 {
+		t.Fatalf("corrupt stream yielded %d records, want 3", n)
+	}
+}

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"path/filepath"
 	"strings"
 )
@@ -94,9 +93,8 @@ type Log struct {
 	segBytes int64 // bytes committed to the current segment (header included)
 	f        File
 
-	buf     []byte   // group-commit buffer: encoded records awaiting fsync
-	pending int      // records in buf
-	scratch [28]byte // fixed-size encode scratch for a record's framing
+	buf     []byte // group-commit buffer: encoded records awaiting fsync
+	pending int    // records in buf
 
 	syncs    uint64
 	segments int
@@ -200,21 +198,7 @@ func (l *Log) Append(src, dst int32, t float64, feat []float64) error {
 			return err
 		}
 	}
-	s := l.scratch[:]
-	binary.LittleEndian.PutUint32(s[0:], uint32(payload))
-	binary.LittleEndian.PutUint32(s[4:], uint32(src))
-	binary.LittleEndian.PutUint32(s[8:], uint32(dst))
-	binary.LittleEndian.PutUint64(s[12:], math.Float64bits(t))
-	binary.LittleEndian.PutUint32(s[20:], uint32(len(feat)))
-	crc := crc32.Update(0, crcTable, s[4:24])
-	l.buf = append(l.buf, s[:24]...)
-	for _, v := range feat {
-		binary.LittleEndian.PutUint64(s[0:8], math.Float64bits(v))
-		crc = crc32.Update(crc, crcTable, s[0:8])
-		l.buf = append(l.buf, s[0:8]...)
-	}
-	binary.LittleEndian.PutUint32(s[0:4], crc)
-	l.buf = append(l.buf, s[0:4]...)
+	l.buf = AppendRecord(l.buf, src, dst, t, feat)
 	l.pending++
 	l.seq++
 	if l.pending >= l.cfg.SyncEvery {
@@ -299,13 +283,13 @@ func listSegments(fsys FS, dir string) ([]string, error) {
 }
 
 // segReader decodes one segment sequentially, tolerating short reads from
-// the underlying file (it always reads via io.ReadFull).
+// the underlying file (it always reads via io.ReadFull). The record decoding
+// itself is the shared recordDecoder (tail.go), which network stream
+// shipping reuses byte-for-byte.
 type segReader struct {
 	f        File
 	firstSeq uint64
-	scratch  []byte
-	feat     []float64
-	off      int64 // bytes consumed so far
+	dec      recordDecoder
 }
 
 // openSegment validates the header. A header that cannot be fully read or
@@ -331,111 +315,44 @@ func openSegment(fsys FS, path string) (*segReader, error) {
 	return &segReader{
 		f:        f,
 		firstSeq: binary.LittleEndian.Uint64(hdr[8:]),
-		off:      segHeaderSize,
+		dec:      recordDecoder{r: f, off: segHeaderSize},
 	}, nil
 }
 
 // next decodes the next record. io.EOF means a clean end; ErrTorn means the
 // file ends mid-record; any other error means checksum or framing corruption.
-// The returned Record's Feat views r.feat and is valid until the next call.
-func (r *segReader) next() (Record, error) {
-	var lenBuf [4]byte
-	n, err := io.ReadFull(r.f, lenBuf[:])
-	if err == io.EOF {
-		return Record{}, io.EOF
-	}
-	if err != nil || n < 4 {
-		return Record{}, ErrTorn
-	}
-	payload := int(binary.LittleEndian.Uint32(lenBuf[:]))
-	if payload < 20 || payload > maxPayload || (payload-20)%8 != 0 {
-		// An absurd length is indistinguishable from garbage written over the
-		// tail; treat it as torn so repair truncates here.
-		return Record{}, ErrTorn
-	}
-	need := payload + 4
-	if cap(r.scratch) < need {
-		r.scratch = make([]byte, need)
-	}
-	body := r.scratch[:need]
-	if _, err := io.ReadFull(r.f, body); err != nil {
-		return Record{}, ErrTorn
-	}
-	want := binary.LittleEndian.Uint32(body[payload:])
-	if crc32.Checksum(body[:payload], crcTable) != want {
-		return Record{}, fmt.Errorf("wal: record checksum mismatch at offset %d", r.off)
-	}
-	rec := Record{
-		Src: int32(binary.LittleEndian.Uint32(body[0:])),
-		Dst: int32(binary.LittleEndian.Uint32(body[4:])),
-		T:   math.Float64frombits(binary.LittleEndian.Uint64(body[8:])),
-	}
-	featLen := int(binary.LittleEndian.Uint32(body[16:]))
-	if featLen != (payload-20)/8 {
-		return Record{}, fmt.Errorf("wal: record feature length %d disagrees with payload at offset %d", featLen, r.off)
-	}
-	if cap(r.feat) < featLen {
-		r.feat = make([]float64, featLen)
-	}
-	rec.Feat = r.feat[:featLen]
-	for i := range rec.Feat {
-		rec.Feat[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[20+8*i:]))
-	}
-	r.off += int64(need + 4)
-	return rec, nil
-}
+// The returned Record's Feat is valid until the next call.
+func (r *segReader) next() (Record, error) { return r.dec.next() }
+
+// off reports the byte offset of the next undecoded record.
+func (r *segReader) off() int64 { return r.dec.off }
 
 func (r *segReader) close() { r.f.Close() }
 
-// Replay streams records [from, end) in sequence order to fn, using segment
-// headers to skip whole files below from. It expects a repaired log (Open
-// runs Repair first); corruption mid-replay is an error, not a silent stop.
-// fn's Record.Feat is only valid during the call.
+// Replay streams records [from, end) in sequence order to fn, riding the
+// TailFrom iterator (segment headers skip whole files below from). It
+// expects a repaired log (Open runs Repair first); corruption mid-replay is
+// an error, not a silent stop. A from past the log's end replays nothing and
+// is not an error. fn's Record.Feat is only valid during the call.
 func Replay(fsys FS, dir string, from uint64, fn func(seq uint64, rec Record) error) (replayed uint64, err error) {
-	segs, err := listSegments(fsys, dir)
+	t, err := TailFrom(fsys, dir, from)
 	if err != nil {
 		return 0, err
 	}
-	for i, name := range segs {
-		r, err := openSegment(fsys, filepath.Join(dir, name))
+	defer t.Close()
+	for {
+		seq, rec, err := t.Next()
+		if err == io.EOF {
+			return replayed, nil
+		}
 		if err != nil {
-			return replayed, fmt.Errorf("wal: replay %s: %w", name, err)
+			return replayed, fmt.Errorf("wal: replay: %w", err)
 		}
-		seq := r.firstSeq
-		skipWhole := false
-		// Peek the next segment's first sequence: if it starts at or below
-		// from, nothing in this one is needed.
-		if i+1 < len(segs) {
-			if nr, err := openSegment(fsys, filepath.Join(dir, segs[i+1])); err == nil {
-				skipWhole = nr.firstSeq <= from
-				nr.close()
-			}
+		if err := fn(seq, rec); err != nil {
+			return replayed, err
 		}
-		if skipWhole {
-			r.close()
-			continue
-		}
-		for {
-			rec, err := r.next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				r.close()
-				return replayed, fmt.Errorf("wal: replay %s: %w", name, err)
-			}
-			if seq >= from {
-				if err := fn(seq, rec); err != nil {
-					r.close()
-					return replayed, err
-				}
-				replayed++
-			}
-			seq++
-		}
-		r.close()
+		replayed++
 	}
-	return replayed, nil
 }
 
 // VerifyReport describes a scan of the log.
@@ -487,7 +404,7 @@ func Verify(fsys FS, dir string) (VerifyReport, error) {
 			continue
 		}
 		for {
-			start := r.off
+			start := r.off()
 			_, err := r.next()
 			if err == io.EOF {
 				break
