@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,15 +15,43 @@ import (
 
 	"taser/internal/serve"
 	"taser/internal/tensor"
+	"taser/internal/tgraph"
 	"taser/internal/wal"
 )
 
-// ErrDiverged reports a follower whose applied stream is longer than the
-// leader's synced log: the two histories are no longer prefix-related
-// (typically this node was promoted and wrote, or the leader restarted from
-// an older store). Replication cannot merge histories — the operator must
-// restart the follower over a fresh (or leader-prefix) durable directory.
+// ErrDiverged reports a follower whose applied stream is not a prefix of the
+// leader's log: either it is longer than the leader's synced sequence, or the
+// join-point verification found a record whose bytes differ (typically this
+// node was promoted and wrote, or the leader restarted from an older store).
+// Replication cannot merge histories — the operator must restart the follower
+// over a fresh (or leader-prefix) durable directory.
 var ErrDiverged = errors.New("replica: follower stream diverged from leader log")
+
+// ErrIncompatible reports a configuration mismatch that makes every record of
+// the leader's stream unappliable (today: a different edge-feature width).
+// It is permanent — retrying cannot help — so catch-up fails fast instead of
+// cycling through its retry budget.
+var ErrIncompatible = errors.New("replica: follower engine incompatible with leader stream")
+
+// ErrStalled reports a record the local engine rejected maxApplyFails polls
+// in a row. A rejection at the same sequence can never heal by retrying (the
+// record's bytes are checksum-verified, so the stream is not at fault);
+// treating it as transient would retry forever while lag grows silently.
+var ErrStalled = errors.New("replica: replication stalled on a persistently rejected record")
+
+// joinVerifyRecords is how many trailing records of a re-joining node's
+// applied stream are byte-compared against the leader's log before tailing
+// starts. Length alone cannot prove the prefix property: an ex-leader whose
+// divergent tail the new leader has since outgrown passes every length check
+// while carrying conflicting records. Divergent histories fork at a point and
+// differ from there on, so comparing the trailing records catches any
+// realistic fork; a window (rather than just the single join record) also
+// covers the pathological case of a fork whose newest record coincides.
+const joinVerifyRecords = 16
+
+// maxApplyFails is how many consecutive polls may fail applying the same
+// sequence before the follower transitions to StateFailed with ErrStalled.
+const maxApplyFails = 5
 
 // State is a follower's lifecycle position.
 type State int32
@@ -96,13 +125,19 @@ type Follower struct {
 	faultPolls  atomic.Uint64 // polls cut short by torn/corrupt/gapped chunks
 	dupRecords  atomic.Uint64 // records skipped as duplicates (seq < applied)
 	weightsSeen atomic.Uint64 // newest leader weight version already fetched
+
+	// Stuck-apply tracking, touched only by the loop goroutine.
+	stalledSeq   uint64 // sequence of the most recent apply rejection
+	stalledFails int    // consecutive polls rejected at stalledSeq
 }
 
 // StartFollower catches the engine up from the leader's shipped checkpoint,
 // then starts the background tail loop. The engine is flipped read-only
 // before the first record is applied and stays so until promotion. The
-// engine should be fresh or a recovered prefix of this leader's stream
-// (anything longer fails with ErrDiverged).
+// engine must be fresh or a recovered prefix of this leader's stream: a
+// non-empty engine's trailing records are byte-verified against the leader's
+// log first, and a stream that is longer than the leader's synced log or
+// differs at the join point fails with ErrDiverged.
 func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("replica: FollowerConfig.Engine is required")
@@ -125,11 +160,14 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{cfg: cfg, cancel: cancel, done: make(chan struct{})}
 	f.state.Store(int32(StateCatchup))
+	wasWritable := cfg.Engine.Writable()
 	cfg.Engine.SetWritable(false)
 	if err := f.catchUp(ctx); err != nil {
 		cancel()
 		close(f.done)
-		cfg.Engine.SetWritable(true) // hand the engine back untouched-by-policy
+		// Hand the engine back with the caller's writability policy intact —
+		// a caller that deliberately parked it read-only stays read-only.
+		cfg.Engine.SetWritable(wasWritable)
 		return nil, err
 	}
 	go f.loop(ctx)
@@ -140,7 +178,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 // ApplyPrefix replaces what would be thousands of per-record polls, exactly
 // as local recovery bulk-loads a checkpoint before replaying the WAL
 // suffix. Transient failures (a leader mid-restart, a killed connection)
-// are retried; divergence is not.
+// are retried; divergence and incompatibility are not.
 func (f *Follower) catchUp(ctx context.Context) error {
 	var err error
 	for attempt := 0; attempt < f.cfg.CatchupRetries; attempt++ {
@@ -151,7 +189,8 @@ func (f *Follower) catchUp(ctx context.Context) error {
 			case <-time.After(f.cfg.PollInterval):
 			}
 		}
-		if err = f.catchUpOnce(ctx); err == nil || errors.Is(err, ErrDiverged) {
+		if err = f.catchUpOnce(ctx); err == nil ||
+			errors.Is(err, ErrDiverged) || errors.Is(err, ErrIncompatible) {
 			return err
 		}
 	}
@@ -165,8 +204,15 @@ func (f *Follower) catchUpOnce(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if st.EdgeDim != e.EdgeDim() {
+		return fmt.Errorf("%w: leader streams edge-feature width %d, engine is configured for %d",
+			ErrIncompatible, st.EdgeDim, e.EdgeDim())
+	}
 	if applied > st.Synced {
 		return fmt.Errorf("%w: %d events applied locally, leader synced %d", ErrDiverged, applied, st.Synced)
+	}
+	if err := f.verifyJoin(ctx, applied); err != nil {
+		return err
 	}
 	f.leaderSeq.Store(st.Synced)
 	f.lastContact.Store(time.Now().UnixNano())
@@ -197,6 +243,75 @@ func (f *Follower) catchUpOnce(ctx context.Context) error {
 	return nil
 }
 
+// verifyJoin proves the locally applied stream joins the leader's log by
+// content, not just length: the last min(applied, joinVerifyRecords) records
+// are re-fetched from the leader and compared bitwise (endpoints, timestamp
+// bits, feature bits) against the local stream. Any mismatch is ErrDiverged —
+// the "applied ≤ synced" length check alone would let an ex-leader whose
+// conflicting tail the new leader has since outgrown re-join and serve a
+// permanently divergent store. A short or torn verification response is
+// returned as a transient error (catchUp retries it).
+func (f *Follower) verifyJoin(ctx context.Context, applied uint64) error {
+	if applied == 0 {
+		return nil // an empty stream is trivially a prefix
+	}
+	n := uint64(joinVerifyRecords)
+	if applied < n {
+		n = applied
+	}
+	from := applied - n
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/repl/wal?from=%d&max=%d", f.cfg.Leader, from, n), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: leader returned %s for join verification", resp.Status)
+	}
+	snap := f.cfg.Engine.PublishSnapshot()
+	if uint64(snap.NumEvents()) < applied {
+		return fmt.Errorf("replica: snapshot covers %d events, %d applied", snap.NumEvents(), applied)
+	}
+	sr := wal.NewStreamReader(resp.Body)
+	for i := uint64(0); i < n; i++ {
+		rec, rerr := sr.Next()
+		if rerr != nil {
+			return fmt.Errorf("replica: join verification read %d/%d records: %w", i, n, rerr)
+		}
+		seq := from + i
+		ev := snap.Graph.Events[seq]
+		if !recordEqual(rec, ev, snap.EdgeFeat.Row(int(seq))) {
+			return fmt.Errorf("%w: record %d differs from the leader's log (local %d→%d t=%v, leader %d→%d t=%v)",
+				ErrDiverged, seq, ev.Src, ev.Dst, ev.Time, rec.Src, rec.Dst, rec.T)
+		}
+	}
+	return nil
+}
+
+// recordEqual compares a leader log record with a local event bitwise —
+// float equality is on the bits, so NaNs and signed zeros compare the way
+// the bitwise-equivalence property demands.
+func recordEqual(rec wal.Record, ev tgraph.Event, feat []float64) bool {
+	if rec.Src != ev.Src || rec.Dst != ev.Dst ||
+		math.Float64bits(rec.T) != math.Float64bits(ev.Time) || len(rec.Feat) != len(feat) {
+		return false
+	}
+	for i, v := range feat {
+		if math.Float64bits(rec.Feat[i]) != math.Float64bits(v) {
+			return false
+		}
+	}
+	return true
+}
+
 // loop is the tail loop: poll the leader's log, apply, repeat. It exits on
 // Close, on promotion (manual or automatic failover), or on a fatal error.
 func (f *Follower) loop(ctx context.Context) {
@@ -212,9 +327,11 @@ func (f *Follower) loop(ctx context.Context) {
 			f.lastContact.Store(now.UnixNano())
 		}
 		switch {
-		case err != nil && (errors.Is(err, ErrDiverged) || errors.Is(err, serve.ErrDurability)):
+		case err != nil && (errors.Is(err, ErrDiverged) || errors.Is(err, ErrStalled) ||
+			errors.Is(err, serve.ErrDurability)):
 			// Divergence cannot heal; a sticky local WAL failure means no
-			// record will ever be admitted again. Stop and keep serving the
+			// record will ever be admitted again; a record the engine keeps
+			// rejecting will keep being rejected. Stop and keep serving the
 			// consistent read-only prefix.
 			f.fail(err)
 			return
@@ -248,6 +365,14 @@ func (f *Follower) loop(ctx context.Context) {
 // poll is abandoned. A checksum failure or truncation abandons the poll
 // likewise. Every abandoned poll restarts from the applied counter, so
 // faults cost retries, never consistency.
+//
+// Positional sequencing bounds the fault model: frames carry no sequence
+// number of their own, so dup-tolerance covers whole-response replays (a
+// rewound from cursor, a resent response) — the request-granularity replays
+// HTTP intermediaries actually produce. A hypothetical intermediary that
+// duplicated or reordered an individual frame *inside* one response body
+// would pass the CRC at the wrong position and be applied at the wrong
+// sequence; that failure is outside the model (DESIGN.md §11).
 func (f *Follower) pollOnce(ctx context.Context) (appliedN int, contact bool, err error) {
 	e := f.cfg.Engine
 	f.polls.Add(1)
@@ -272,6 +397,12 @@ func (f *Follower) pollOnce(ctx context.Context) (appliedN int, contact bool, er
 		return 0, true, fmt.Errorf("replica: leader returned %s for /v1/repl/wal", resp.Status)
 	}
 	if v, perr := strconv.ParseUint(resp.Header.Get(hdrSeq), 10, 64); perr == nil {
+		if prev := f.leaderSeq.Load(); v < prev {
+			// A synced sequence never regresses on one store (recovery keeps
+			// every synced record), so the log behind this URL was replaced
+			// with a different — potentially conflicting — history.
+			return 0, true, fmt.Errorf("%w: leader synced sequence regressed %d → %d", ErrDiverged, prev, v)
+		}
 		f.leaderSeq.Store(v)
 	}
 	firstSeq := from
@@ -301,8 +432,21 @@ func (f *Follower) pollOnce(ctx context.Context) (appliedN int, contact bool, er
 			break
 		}
 		if aerr := e.Apply(rec.Src, rec.Dst, rec.T, rec.Feat); aerr != nil {
+			// Transient by default (a checkpoint write racing the apply), but
+			// the same sequence rejected poll after poll can never heal —
+			// escalate to ErrStalled so the loop fails instead of spinning.
+			if seq == f.stalledSeq {
+				f.stalledFails++
+			} else {
+				f.stalledSeq, f.stalledFails = seq, 1
+			}
+			if f.stalledFails >= maxApplyFails {
+				return appliedN, true, fmt.Errorf("%w: record %d rejected %d polls in a row: %w",
+					ErrStalled, seq, f.stalledFails, aerr)
+			}
 			return appliedN, true, fmt.Errorf("replica: applying record %d: %w", seq, aerr)
 		}
+		f.stalledFails = 0
 		f.applied.Add(1)
 		appliedN++
 	}
@@ -344,6 +488,7 @@ type leaderStatus struct {
 	Synced           uint64 `json:"synced"`
 	CheckpointEvents int    `json:"checkpoint_events"`
 	WeightVersion    uint64 `json:"weight_version"`
+	EdgeDim          int    `json:"edge_dim"`
 	Writable         bool   `json:"writable"`
 }
 

@@ -21,7 +21,11 @@
 // checksum at the expected sequence and is applied, or the poll is abandoned
 // and re-requested from the follower's applied sequence. The follower never
 // applies a record out of order, so its state is always a verbatim prefix of
-// the leader's log.
+// the leader's log. A node re-joining with local state must prove its stream
+// really is such a prefix before tailing: the trailing records of its applied
+// stream are byte-compared against the leader's log at the join point, so a
+// diverged history (a promoted node's own writes, a leader that lost its
+// tail) is refused with ErrDiverged instead of silently grafted onto.
 package replica
 
 import (
@@ -46,7 +50,10 @@ const (
 // Leader serves an engine's durable log to followers:
 //
 //	GET /v1/repl/wal?from=N   → framed records [N, synced) (wal.AppendRecord
-//	                            framing; at most MaxRecords per response)
+//	                            framing; at most MaxRecords per response;
+//	                            &max=M caps the response further — the join
+//	                            verification fetch asks for exactly the
+//	                            records it will compare)
 //	GET /v1/repl/checkpoint   → the newest valid checkpoint file, verbatim
 //	GET /v1/repl/status       → JSON sequence/checkpoint/weight summary
 //
@@ -109,6 +116,16 @@ func (l *Leader) serveWAL(w http.ResponseWriter, r *http.Request) {
 	if max := uint64(l.MaxRecords); max > 0 && until-from > max {
 		until = from + max
 	}
+	if q := r.URL.Query().Get("max"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("bad max %q: %w", q, err))
+			return
+		}
+		if until-from > v {
+			until = from + v
+		}
+	}
 	w.Header().Set(hdrFrom, strconv.FormatUint(from, 10))
 	w.Header().Set(hdrSeq, strconv.FormatUint(synced, 10))
 	w.Header().Set(hdrWeights, strconv.FormatUint(st.WeightVersion, 10))
@@ -163,8 +180,8 @@ func (l *Leader) serveCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (l *Leader) serveStatus(w http.ResponseWriter, r *http.Request) {
 	st := l.e.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"seq":%d,"synced":%d,"segments":%d,"checkpoint_events":%d,"weight_version":%d,"writable":%t}`+"\n",
-		st.WALAppended, st.WALSynced, st.WALSegments, st.CheckpointEvents, st.WeightVersion, l.e.Writable())
+	fmt.Fprintf(w, `{"seq":%d,"synced":%d,"segments":%d,"checkpoint_events":%d,"weight_version":%d,"edge_dim":%d,"writable":%t}`+"\n",
+		st.WALAppended, st.WALSynced, st.WALSegments, st.CheckpointEvents, st.WeightVersion, l.e.EdgeDim(), l.e.Writable())
 }
 
 func httpErr(w http.ResponseWriter, code int, err error) {

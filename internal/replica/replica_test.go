@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"taser/internal/serve"
 	"taser/internal/tgraph"
 	"taser/internal/train"
+	"taser/internal/wal"
 )
 
 // testNode is one replica: an engine with its own durable directory plus the
@@ -466,6 +468,222 @@ func TestAutoFailover(t *testing.T) {
 	ev := ds.Graph.Events[64]
 	if err := follower.e.Ingest(ev.Src, ev.Dst, ev.Time+1, nil); err != nil {
 		t.Fatalf("ingest on auto-promoted follower: %v", err)
+	}
+}
+
+// TestRejoinRefusedAfterNewLeaderOutgrows is the divergence case length
+// checks cannot see: the dead leader keeps an unsynced tail the follower
+// never received, the promoted leader then takes enough conflicting writes
+// to outgrow it, and the stale store tries to re-join with applied ≤ synced.
+// The join-point byte verification must refuse it — without it the ex-leader
+// would tail from its applied sequence on top of a conflicting prefix and
+// serve a permanently divergent store.
+func TestRejoinRefusedAfterNewLeaderOutgrows(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 7)
+	n := len(ds.Graph.Events)
+	leader := newTestNode(t, ds, 8)
+	follower := newTestNode(t, ds, 8)
+
+	feed(t, leader, ds, 0, n/2)
+	ts := startLeaderServer(t, leader.e)
+	f, err := StartFollower(FollowerConfig{
+		Engine: follower.e, Leader: ts.URL, PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitCaughtUp(t, f, leader.e)
+	syncedAtKill := leader.e.Stats().WALSynced
+
+	// waitCaughtUp checkpointed (and therefore synced) the leader's log, so
+	// these events stay pending in the group-commit buffer (tail < SyncEvery):
+	// the follower can never have seen them.
+	const tail = 5
+	feed(t, leader, ds, int(syncedAtKill), int(syncedAtKill)+tail)
+	ts.Close()
+	f.Promote()
+	if fn, ln := follower.e.NumEvents(), leader.e.NumEvents(); fn+tail != ln {
+		t.Fatalf("setup: follower promoted with %d events, ex-leader holds %d; want a %d-event unshipped tail", fn, ln, tail)
+	}
+
+	// The new leader takes writes that conflict with the dead leader's tail
+	// and outgrows it, so the length check alone would re-admit the stale
+	// store.
+	wm, _ := follower.e.Watermark()
+	feat := make([]float64, ds.Spec.EdgeDim)
+	for i := 0; i < 2*tail; i++ {
+		for j := range feat {
+			feat[j] = float64(i) + 0.25
+		}
+		if err := follower.e.Ingest(3, 4, wm+float64(i+1), feat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := follower.e.Checkpoint(); err != nil { // sync the new writes
+		t.Fatal(err)
+	}
+	ts2 := startLeaderServer(t, follower.e)
+	if synced, ex := follower.e.Stats().WALSynced, uint64(leader.e.NumEvents()); synced < ex {
+		t.Fatalf("setup: new leader synced %d has not outgrown the ex-leader's %d events", synced, ex)
+	}
+
+	_, err = StartFollower(FollowerConfig{Engine: leader.e, Leader: ts2.URL})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("stale ex-leader rejoin after outgrowth: got %v, want ErrDiverged", err)
+	}
+	if !leader.e.Writable() {
+		t.Fatal("refused rejoin should restore the engine's prior (writable) state")
+	}
+}
+
+// TestFollowerRestartResumesCleanly: a follower stopped and restarted over
+// the same engine re-joins with applied > 0 — the join verification must
+// pass on the genuinely shared prefix and tailing must resume where it left
+// off instead of re-shipping the stream.
+func TestFollowerRestartResumesCleanly(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 7)
+	n := len(ds.Graph.Events)
+	leader := newTestNode(t, ds, 8)
+	follower := newTestNode(t, ds, 8)
+
+	feed(t, leader, ds, 0, n/2)
+	ts := startLeaderServer(t, leader.e)
+	f, err := StartFollower(FollowerConfig{
+		Engine: follower.e, Leader: ts.URL, PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, leader.e)
+	f.Close()
+	resumedAt := uint64(follower.e.NumEvents())
+	if resumedAt == 0 {
+		t.Fatal("setup: follower stopped with an empty stream")
+	}
+
+	feed(t, leader, ds, int(resumedAt), n)
+	f2, err := StartFollower(FollowerConfig{
+		Engine: follower.e, Leader: ts.URL, PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("restart over a valid prefix: %v", err)
+	}
+	defer f2.Close()
+	waitCaughtUp(t, f2, leader.e)
+	assertEquivalent(t, follower.e, leader.e, ds.Graph.Events[:8])
+}
+
+// TestEdgeDimMismatchFailsFast: a follower engine configured with a
+// different edge-feature width can never apply a single record; the status
+// handshake must refuse it at StartFollower instead of letting the loop
+// retry the first record forever.
+func TestEdgeDimMismatchFailsFast(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 7)
+	ds16 := datasets.Generate(datasets.Spec{
+		Name: "wikipedia-16", NumNodes: 900, NumSrc: 720, NumEvents: 400,
+		NodeDim: 0, EdgeDim: 16,
+		NoiseRate: 0.20, DriftRate: 2.0, RepeatRate: 0.5, Skew: 1.1, Seed: 7,
+	})
+	leader := newTestNode(t, ds, 8)
+	follower := newTestNode(t, ds16, 8)
+	feed(t, leader, ds, 0, 64)
+	ts := startLeaderServer(t, leader.e)
+
+	_, err := StartFollower(FollowerConfig{Engine: follower.e, Leader: ts.URL})
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("edge-dim mismatch: got %v, want ErrIncompatible", err)
+	}
+	if !follower.e.Writable() {
+		t.Fatal("refused follower should get its writable state back")
+	}
+}
+
+// TestCatchupFailureRestoresWritable: a failed StartFollower must hand the
+// engine back with the caller's writability policy intact — not force it
+// writable.
+func TestCatchupFailureRestoresWritable(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 7)
+	node := newTestNode(t, ds, 8)
+	cfg := FollowerConfig{
+		Engine: node.e, Leader: "http://127.0.0.1:1",
+		Client:         &http.Client{Timeout: 100 * time.Millisecond},
+		PollInterval:   time.Millisecond,
+		CatchupRetries: 1,
+	}
+
+	if _, err := StartFollower(cfg); err == nil {
+		t.Fatal("StartFollower reached an unreachable leader")
+	}
+	if !node.e.Writable() {
+		t.Fatal("failed catch-up flipped a writable engine read-only")
+	}
+
+	node.e.SetWritable(false)
+	if _, err := StartFollower(cfg); err == nil {
+		t.Fatal("StartFollower reached an unreachable leader")
+	}
+	if node.e.Writable() {
+		t.Fatal("failed catch-up flipped a deliberately read-only engine writable")
+	}
+}
+
+// poisonRT, once armed, answers /wal polls itself with a well-framed record
+// the engine can never admit (a timestamp far behind the watermark): every
+// checksum passes, every apply is rejected — the persistent-rejection case.
+type poisonRT struct {
+	base    http.RoundTripper
+	edgeDim int
+	armed   atomic.Bool
+}
+
+func (rt *poisonRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !rt.armed.Load() || req.URL.Path != "/v1/repl/wal" {
+		return rt.base.RoundTrip(req)
+	}
+	from, _ := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+	body := wal.AppendRecord(nil, 7, 8, -1e18, make([]float64, rt.edgeDim))
+	h := http.Header{}
+	h.Set(hdrFrom, strconv.FormatUint(from, 10))
+	h.Set(hdrSeq, strconv.FormatUint(from+1, 10))
+	return &http.Response{
+		Status: "200 OK", StatusCode: http.StatusOK,
+		Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: h, Body: io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)), Request: req,
+	}, nil
+}
+
+// TestPersistentApplyRejectionFails: a record the engine rejects poll after
+// poll must fail the follower (ErrStalled, StateFailed, unhealthy) instead
+// of being retried at the same sequence forever while lag grows.
+func TestPersistentApplyRejectionFails(t *testing.T) {
+	ds := datasets.Wikipedia(0.02, 7)
+	leader := newTestNode(t, ds, 8)
+	follower := newTestNode(t, ds, 8)
+	feed(t, leader, ds, 0, 64)
+	ts := startLeaderServer(t, leader.e)
+
+	rt := &poisonRT{base: http.DefaultTransport, edgeDim: ds.Spec.EdgeDim}
+	f, err := StartFollower(FollowerConfig{
+		Engine: follower.e, Leader: ts.URL,
+		Client:       &http.Client{Transport: rt, Timeout: 30 * time.Second},
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitCaughtUp(t, f, leader.e)
+
+	rt.armed.Store(true)
+	waitState(t, f, StateFailed)
+	st := f.Status()
+	if !errors.Is(st.Err, ErrStalled) {
+		t.Fatalf("failed follower error = %v, want ErrStalled", st.Err)
+	}
+	if err := f.Healthy(); err == nil {
+		t.Fatal("stalled follower reports healthy")
 	}
 }
 

@@ -542,6 +542,11 @@ func (e *Engine) SetWritable(w bool) { e.readOnly.Store(!w) }
 // Writable reports whether the public write API is open.
 func (e *Engine) Writable() bool { return !e.readOnly.Load() }
 
+// EdgeDim reports the per-event edge-feature width the engine was configured
+// with (0 when the graph carries none). A replication pair must agree on it —
+// the follower checks the leader's advertised width before applying anything.
+func (e *Engine) EdgeDim() int { return e.cfg.EdgeDim }
+
 // Durable exposes the engine's durable store location (and file-op layer)
 // for the replication leader, which serves the WAL and checkpoints over
 // HTTP. ok is false when durability is off — such an engine cannot lead.
