@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke shard-smoke bench-shards
 
 all: build test
 
@@ -74,6 +74,18 @@ bench-replicate:
 # hard leader kill, promotion, demoted store re-joining (DESIGN.md §11).
 repl-smoke:
 	bash scripts/repl_smoke.sh
+
+# Sharded-serving smoke test over localhost: a 4-shard fleet, mixed
+# ingest/predict, kill -9, -recover restart, watermark + prediction
+# continuity (DESIGN.md §12).
+shard-smoke:
+	bash scripts/shard_smoke.sh
+
+# Shard-count sweep of the HTTP load test: one self-hosted GraphMixer fleet
+# per K, per-shard throughput from /v1/stats shards[] (DESIGN.md §12,
+# EXPERIMENTS.md for the recorded 1-CPU run).
+bench-shards:
+	$(GO) run ./cmd/taser-bench -exp loadhttp -shards 1,2,4
 
 # HTTP-mode load test: build taser-serve and taser-bench, start a real server
 # (short pretraining at small scale), drive /v1/ingest + /v1/predict +

@@ -48,6 +48,7 @@ func main() {
 		ftPasses   = flag.Int("finetune-passes", 0, "finetune: replay passes per round (default 4)")
 		srvAddr    = flag.String("serve-addr", "", "loadhttp: base URL of a live taser-serve (empty = self-host in process)")
 		srvWait    = flag.Duration("serve-wait", 0, "loadhttp: readiness-poll budget for an external server (default 120s)")
+		srvShards  = flag.String("shards", "", "loadhttp: comma-separated shard counts to sweep (self-hosts a K-shard fleet per entry, e.g. 1,2,4)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		return out
 	}
 	opts.ServeClients = parseInts("-serve-clients", *srvClients)
+	opts.ServeShards = parseInts("-shards", *srvShards)
 	opts.IngestEvents = parseInts("-ingest-events", *ingEvents)
 	opts.RecoverEvents = parseInts("-recover-events", *recEvents)
 	opts.ReplicateEvents = parseInts("-replicate-events", *repEvents)

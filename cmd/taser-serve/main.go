@@ -27,6 +27,16 @@
 // Out-of-order events are rejected with HTTP 409 and the current watermark
 // in the error body, so producers can resynchronize.
 //
+// Sharding: -shards K (K > 1, requires -model graphmixer) partitions the node
+// space across K engines behind a consistent-hash router. Ingest routes each
+// event to the shard owning its destination (teed to the source's owner when
+// that differs), prediction scatter/gathers across shards when the endpoints
+// hash apart, and -wal-dir gives every shard its own store directory
+// (<dir>/shard-0..K-1) with independent recovery. /v1/stats reports merged
+// totals plus a per-shard block each. Sharding excludes -replicate-from,
+// -repl-listen, -promote and -finetune (single-engine features; DESIGN.md §12
+// explains how they compose per-shard later).
+//
 // Replication (internal/replica): a durable node serves its WAL to read
 // replicas under /v1/repl/ (or on a dedicated -repl-listen address). A node
 // started with -replicate-from tails that leader instead of bootstrapping
@@ -67,6 +77,7 @@ func main() {
 		n         = flag.Int("n", 10, "supporting neighbors per hop")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 1, "serving shards: partition the node space across K engines behind a consistent-hash router (requires -model graphmixer for K>1)")
 		maxBatch  = flag.Int("max-batch", 32, "max roots per serving micro-batch")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max coalescing wait per micro-batch")
 		cacheSize = flag.Int("emb-cache", 4096, "embedding-cache capacity in nodes (0 disables)")
@@ -91,7 +102,7 @@ func main() {
 		lagBound   = flag.Uint64("lag-threshold", 0, "replication lag above which /v1/healthz reports unready (0 = replica default)")
 	)
 	flag.Parse()
-	validateFlags(*walDir, *replFrom, *replListen, *promote, *ftOn, *replay)
+	validateFlags(*walDir, *replFrom, *replListen, *promote, *ftOn, *replay, *shards, *model)
 
 	ds, ok := datasets.ByName(*dataset, *scale, *seed)
 	if !ok {
@@ -113,7 +124,7 @@ func main() {
 		fmt.Printf("pretrain epoch %2d  loss=%.4f  (%.1fs)\n", e+1, res.MeanLoss, res.Duration.Seconds())
 	}
 
-	engine, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Model: tr.Model, Pred: tr.Pred,
 		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
 		Budget: *n, Policy: sampler.MostRecent,
@@ -122,7 +133,14 @@ func main() {
 		FinetuneInterval: *ftInterval, ReplayWindow: *ftWindow,
 		Durability: serve.Durability{Dir: *walDir, SyncEvery: *walSync, CheckpointEvery: *ckptEvery},
 		Seed:       *seed,
-	})
+	}
+	if *shards > 1 {
+		// The sharded plane has its own serving loop: per-shard WAL dirs,
+		// aggregate recovery, no replication/fine-tuning (validated above).
+		runFleet(cfg, ds, *shards, *addr, *walDir, *doRecover, *replay)
+		return
+	}
+	engine, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
 		os.Exit(1)
@@ -306,16 +324,131 @@ func main() {
 	fmt.Println("bye")
 }
 
+// runFleet is the sharded serving loop: K engines behind the consistent-hash
+// router, each with its own WAL directory under -wal-dir, served through the
+// same HTTP surface (the handler speaks serve.Server, which both the bare
+// engine and the fleet implement). Replication and fine-tuning are
+// single-engine features — validateFlags already rejected them for K>1.
+func runFleet(cfg serve.Config, ds *datasets.Dataset, shards int, addr, walDir string, doRecover, replay bool) {
+	fleet, err := serve.NewFleet(serve.FleetConfig{Config: cfg, Shards: shards})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sharded plane: %d engines on a consistent-hash ring (vnodes=%d/shard)\n", shards, serve.DefaultVNodes)
+
+	recovered := false
+	if walDir != "" && doRecover {
+		rep, err := fleet.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: recover: %v\n", err)
+			os.Exit(1)
+		}
+		if _, has := fleet.Watermark(); has {
+			recovered = true
+			fmt.Printf("recovered %d distinct events (+%d teed copies) across %d shards, weights v%d in %v\n",
+				rep.Events, rep.Teed, shards, rep.WeightVersion, rep.Duration.Round(time.Millisecond))
+			for i, sr := range rep.Shards {
+				fmt.Printf("  shard %d: checkpoint %d + replay %d (healed %d), watermark t=%v\n",
+					i, sr.CheckpointEvents, sr.ReplayedEvents, sr.HealedEvents, sr.Watermark)
+			}
+		} else {
+			fmt.Printf("durable store %s is empty: fresh start\n", walDir)
+		}
+	}
+	feats := ds.EdgeFeat
+	if !recovered {
+		if err := fleet.Bootstrap(ds.Graph.Events[:ds.TrainEnd], feats.SliceRows(ds.TrainEnd)); err != nil {
+			fmt.Fprintf(os.Stderr, "taser-serve: bootstrap: %v\n", err)
+			os.Exit(1)
+		}
+		wm, _ := fleet.Watermark()
+		fmt.Printf("bootstrapped %d events (watermark t=%v)\n", ds.TrainEnd, wm)
+	}
+	if replay && !recovered {
+		for i := ds.TrainEnd; i < len(ds.Graph.Events); i++ {
+			ev := ds.Graph.Events[i]
+			var row []float64
+			if feats.Cols > 0 {
+				row = feats.Row(i)
+			}
+			if err := fleet.Ingest(ev.Src, ev.Dst, ev.Time, row); err != nil {
+				fmt.Fprintf(os.Stderr, "taser-serve: replay: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fleet.PublishSnapshots()
+		wm, _ := fleet.Watermark()
+		fmt.Printf("replayed to watermark t=%v\n", wm)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: serve.NewHandler(fleet)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("serving on %s\n", addr)
+
+	shutdown := func() {
+		fleet.Close() // drains in-flight ops, then each shard checkpoints
+		st := fleet.Stats()
+		fmt.Printf("fleet: %d distinct events (+%d teed), %d requests (%d cross-shard, %d gather retries)\n",
+			st.Ingested, st.Teed, st.Requests, st.CrossShard, st.GatherRetries)
+		for i, ss := range st.Shards {
+			fmt.Printf("  shard %d: %d events, %d requests, snapshot v%d\n", i, ss.Events, ss.Requests, ss.SnapshotVersion)
+		}
+	}
+	select {
+	case err := <-errc:
+		shutdown()
+		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining HTTP connections and the fleet")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "taser-serve: shutdown: %v\n", err)
+	}
+	shutdown()
+	fmt.Println("bye")
+}
+
 // validateFlags fails fast on contradictory flag combinations instead of
 // letting them surface as confusing runtime behavior (a -checkpoint-every
 // that silently does nothing, a -promote with no leader to catch up from).
-func validateFlags(walDir, replFrom, replListen string, promote, ftOn, replay bool) {
+func validateFlags(walDir, replFrom, replListen string, promote, ftOn, replay bool, shards int, model string) {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "taser-serve: "+format+"\n", args...)
 		os.Exit(2)
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	if shards < 1 {
+		fail("-shards must be at least 1, got %d", shards)
+	}
+	if shards > 1 {
+		// The sharded plane composes with durability (per-shard WALs) but not
+		// yet with replication or online fine-tuning — those wrap a single
+		// engine; DESIGN.md §12 explains why they will compose per-shard.
+		if replFrom != "" {
+			fail("-shards %d cannot combine with -replicate-from: replication wraps a single engine (per-shard replication is future work)", shards)
+		}
+		if replListen != "" {
+			fail("-shards %d cannot combine with -repl-listen: a fleet does not ship one WAL (each shard has its own)", shards)
+		}
+		if promote {
+			fail("-promote requires -replicate-from, which -shards %d excludes", shards)
+		}
+		if ftOn {
+			fail("-shards %d cannot combine with -finetune: the fine-tuner tails a single engine's stream", shards)
+		}
+		if model != "graphmixer" {
+			fail("-shards %d requires -model graphmixer: the endpoint tee keeps one hop shard-locally complete, multi-hop backbones (%s) would read incomplete neighborhoods", shards, model)
+		}
+	}
 	if walDir == "" {
 		for _, name := range []string{"recover", "wal-sync-every", "checkpoint-every"} {
 			if explicit[name] {

@@ -71,6 +71,13 @@ type Options struct {
 	// taser-serve at that base URL (e.g. http://127.0.0.1:8080).
 	ServeAddr string
 	ServeWait time.Duration // readiness-poll budget for an external server (default 120s)
+
+	// ServeShards switches loadhttp into a shard-count sweep: for each K it
+	// self-hosts a K-shard GraphMixer fleet (the model class a K>1 fleet
+	// requires), runs the same closed-loop rows, and reports per-shard
+	// throughput from the merged /v1/stats shards[] blocks. Incompatible
+	// with ServeAddr.
+	ServeShards []int
 }
 
 // Normalize fills defaults.

@@ -33,6 +33,9 @@ import (
 // self-contained.
 func LoadHTTP(o Options) error {
 	o = o.Normalize()
+	if len(o.ServeShards) > 0 {
+		return loadHTTPShardSweep(o)
+	}
 	base := o.ServeAddr
 	if base == "" {
 		ds := o.loadDatasets([]string{"wikipedia"})[0]
@@ -114,6 +117,144 @@ func LoadHTTP(o Options) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// loadHTTPShardSweep runs the HTTP load test once per requested shard count:
+// each K self-hosts a K-shard GraphMixer fleet (a K>1 fleet requires a
+// one-layer model) bootstrapped with the same training split, drives the same
+// closed-loop client rows against it, and then reports per-shard throughput
+// from the merged /v1/stats shards[] blocks — events and requests per shard,
+// plus the fleet's tee and scatter/gather counters. On a single core the
+// sweep measures routing overhead and balance, not wall-clock speedup; see
+// EXPERIMENTS.md.
+func loadHTTPShardSweep(o Options) error {
+	if o.ServeAddr != "" {
+		return fmt.Errorf("bench: the -shards sweep self-hosts one fleet per shard count; it cannot target -serve-addr")
+	}
+	ds := o.loadDatasets([]string{"wikipedia"})[0]
+	clientsList := o.ServeClients
+	if len(clientsList) == 0 {
+		clientsList = []int{8}
+	}
+	reqs := o.ServeRequests
+	if reqs == 0 {
+		reqs = 200
+	}
+	rate := o.ServeIngestRate
+	if rate == 0 {
+		rate = 500
+	}
+	for _, K := range o.ServeShards {
+		tr, err := train.New(train.Config{
+			Model: train.ModelGraphMixer, Finder: train.FinderGPU, FinderPolicy: "recent",
+			Hidden: o.Hidden, TimeDim: o.TimeDim, Seed: o.Seed,
+		}, ds)
+		if err != nil {
+			return err
+		}
+		fleet, err := serve.NewFleet(serve.FleetConfig{
+			Config: serve.Config{
+				Model: tr.Model, Pred: tr.Pred,
+				NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+				Budget: tr.Cfg.N, Policy: sampler.MostRecent,
+				MaxBatch: 32, MaxWait: 500 * time.Microsecond,
+				CacheSize: 2048, SnapshotEvery: 128, Seed: o.Seed,
+			},
+			Shards: K,
+		})
+		if err != nil {
+			return err
+		}
+		if err := fleet.Bootstrap(ds.Graph.Events[:ds.TrainEnd], ds.EdgeFeat.SliceRows(ds.TrainEnd)); err != nil {
+			fleet.Close()
+			return err
+		}
+		srv := httptest.NewServer(serve.NewHandler(fleet))
+		st, err := fetchStats(srv.URL)
+		if err == nil {
+			var nodesF, watermark float64
+			if nodesF, err = statNum(st, "nodes"); err == nil {
+				if watermark, err = statNum(st, "watermark"); err == nil {
+					err = shardSweepRows(o, srv.URL, K, int(nodesF), watermark, clientsList, reqs, rate)
+				}
+			}
+		}
+		srv.Close()
+		fleet.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardSweepRows drives the closed-loop rows for one shard count and prints
+// the per-shard breakdown afterwards.
+func shardSweepRows(o Options, base string, K, numNodes int, watermark float64, clientsList []int, reqs int, rate float64) error {
+	weights := make([]float64, numNodes)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -1.1)
+	}
+	zipf := mathx.NewAlias(weights)
+	qt := watermark + 1e9
+
+	fmt.Fprintf(o.Out, "shards=%d (graphmixer fleet, %d reqs/client, ingest %.0f ev/s)\n", K, reqs, rate)
+	fmt.Fprintf(o.Out, "%-8s %8s %9s %9s %9s %7s %8s %8s\n",
+		"clients", "qps", "p50(ms)", "p99(ms)", "batch", "hit%", "ingested", "weights")
+	before, err := fetchStats(base)
+	if err != nil {
+		return err
+	}
+	for _, clients := range clientsList {
+		if err := loadHTTPRow(o, base, zipf, qt, clients, reqs, rate, numNodes); err != nil {
+			return err
+		}
+	}
+	after, err := fetchStats(base)
+	if err != nil {
+		return err
+	}
+	teed, _ := statNum(after, "events_teed")
+	crossPred, _ := statNum(after, "cross_shard_predicts")
+	retries, _ := statNum(after, "gather_retries")
+	fmt.Fprintf(o.Out, "fleet: teed=%0.f cross_shard_predicts=%.0f gather_retries=%.0f\n", teed, crossPred, retries)
+	blocks, ok := after["shards"].([]any)
+	if !ok {
+		return fmt.Errorf("bench: /v1/stats has no shards[] — is the server a sharded taser-serve?")
+	}
+	var totalReq float64
+	deltas := make([]map[string]float64, len(blocks))
+	beforeBlocks, _ := before["shards"].([]any)
+	for i, b := range blocks {
+		blk, _ := b.(map[string]any)
+		d := map[string]float64{}
+		for _, key := range []string{"requests", "events", "batches"} {
+			v, err := statNum(blk, key)
+			if err != nil {
+				return err
+			}
+			if i < len(beforeBlocks) {
+				if bb, ok := beforeBlocks[i].(map[string]any); ok {
+					if pv, err := statNum(bb, key); err == nil && key == "requests" {
+						v -= pv // throughput share is about this sweep's traffic
+					}
+				}
+			}
+			d[key] = v
+		}
+		deltas[i] = d
+		totalReq += d["requests"]
+	}
+	for i, d := range deltas {
+		share := 0.0
+		if totalReq > 0 {
+			share = 100 * d["requests"] / totalReq
+		}
+		fmt.Fprintf(o.Out, "  shard %d: events=%.0f requests=%.0f (%.0f%% of fleet) batches=%.0f\n",
+			i, d["events"], d["requests"], share, d["batches"])
+	}
+	fmt.Fprintln(o.Out)
 	return nil
 }
 

@@ -8,6 +8,22 @@ import (
 	"time"
 )
 
+// Server is the serving surface the HTTP layer mounts: implemented by both
+// the single *Engine and the sharded *Fleet, so every caller of NewHandler
+// (cmd/taser-serve, the HTTP load generator, tests) serves either shape
+// unchanged. The unexported stats method keeps the set closed: the payload
+// schema is this package's contract, not an extension point.
+type Server interface {
+	Ingest(src, dst int32, t float64, feat []float64) error
+	PredictLink(src, dst int32, t float64) (PredictResult, error)
+	Embed(node int32, t float64) (EmbedResult, error)
+	Watermark() (t float64, ok bool)
+	NumEvents() int
+	Writable() bool
+	DurableErr() error
+	statsPayload() map[string]any
+}
+
 // HandlerConfig customizes NewHandlerConfig for a replication topology. The
 // zero value is a plain standalone engine (what NewHandler mounts).
 type HandlerConfig struct {
@@ -26,22 +42,23 @@ type HandlerConfig struct {
 	Health func() error
 }
 
-// NewHandler exposes an engine behind the HTTP/JSON API cmd/taser-serve
-// mounts (and the HTTP load generator drives). Endpoints:
+// NewHandler exposes a serving backend (an Engine, or a sharded Fleet) behind
+// the HTTP/JSON API cmd/taser-serve mounts (and the HTTP load generator
+// drives). Endpoints:
 //
 //	POST /v1/ingest   {"src":1,"dst":2,"t":123.5,"feat":[...]}   → {"events":N,"watermark":T}
 //	POST /v1/predict  {"src":1,"dst":2,"t":123.5}                → {"score":S,"version":V,"weights":W,"cached":B}
 //	POST /v1/embed    {"node":1,"t":123.5}                       → {"embedding":[...],"version":V,"weights":W,"cached":B}
-//	GET  /v1/stats                                               → engine counters and latency percentiles
-//	GET  /v1/healthz                                             → 200 when ready, 503 otherwise
+//	GET  /v1/stats                                               → counters and latency percentiles (a fleet adds per-shard blocks under "shards")
+//	GET  /v1/healthz                                             → 200 when ready, 503 otherwise (a fleet aggregates every shard's readiness)
 //
 // Out-of-order events are rejected with HTTP 409 and the current watermark
 // in the error body, so producers can resynchronize. On a read-only replica
 // ingest is rejected with 421 and the leader's URL (see HandlerConfig).
-func NewHandler(e *Engine) http.Handler { return NewHandlerConfig(e, HandlerConfig{}) }
+func NewHandler(s Server) http.Handler { return NewHandlerConfig(s, HandlerConfig{}) }
 
 // NewHandlerConfig is NewHandler with replication-aware knobs.
-func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
+func NewHandlerConfig(s Server, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -52,7 +69,7 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := e.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
+		if err := s.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
 			code := http.StatusBadRequest
 			switch {
 			case errors.Is(err, ErrStaleEvent):
@@ -78,8 +95,8 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 			writeErr(w, code, err)
 			return
 		}
-		wm, _ := e.Watermark() // the event just admitted set it
-		writeJSON(w, map[string]any{"events": e.NumEvents(), "watermark": wm})
+		wm, _ := s.Watermark() // the event just admitted set it
+		writeJSON(w, map[string]any{"events": s.NumEvents(), "watermark": wm})
 	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -89,7 +106,7 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := e.PredictLink(req.Src, req.Dst, req.T)
+		res, err := s.PredictLink(req.Src, req.Dst, req.T)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -107,7 +124,7 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := e.Embed(req.Node, req.T)
+		res, err := s.Embed(req.Node, req.T)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -118,32 +135,7 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := e.Stats()
-		liveWM, hasLiveWM := e.Watermark() // may be ahead of the snapshot's
-		ckptAgeMS := int64(-1)             // -1 = no checkpoint yet
-		if !st.LastCheckpoint.IsZero() {
-			ckptAgeMS = time.Since(st.LastCheckpoint).Milliseconds()
-		}
-		out := map[string]any{
-			"live_watermark": liveWM, "has_live_watermark": hasLiveWM,
-			"requests": st.Requests, "batches": st.Batches,
-			"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
-			"cache_hits": st.CacheHits, "cache_stale": st.CacheStale, "cache_misses": st.CacheMisses,
-			"snapshot_version": st.SnapshotVersion,
-			"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
-			"events": st.Events, "nodes": e.cfg.NumNodes,
-			"weight_version": st.WeightVersion, "weight_swaps": st.WeightSwaps,
-			"avg_swap_us":  st.AvgSwap.Microseconds(),
-			"durable":      st.Durable,
-			"read_only":    st.ReadOnly,
-			"wal_appended": st.WALAppended, "wal_synced": st.WALSynced,
-			"wal_syncs": st.WALSyncs, "wal_segments": st.WALSegments,
-			"wal_failures": st.WALFailures,
-			"checkpoints":  st.Checkpoints, "checkpoint_fails": st.CheckpointFails,
-			"checkpoint_events": st.CheckpointEvents,
-			"checkpoint_age_ms": ckptAgeMS,
-			"p50_us":            st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
-		}
+		out := s.statsPayload()
 		if hc.StatsExtra != nil {
 			for k, v := range hc.StatsExtra() {
 				out[k] = v
@@ -153,9 +145,10 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness for a load balancer: the WAL must be healthy (a sticky
-		// WAL failure means no write will ever be admitted again) and any
-		// topology-specific predicate must pass (a follower's lag bound).
-		err := e.DurableErr()
+		// WAL failure means no write will ever be admitted again — a fleet
+		// reports the first failing shard) and any topology-specific
+		// predicate must pass (a follower's lag bound).
+		err := s.DurableErr()
 		if err == nil && hc.Health != nil {
 			err = hc.Health()
 		}
@@ -166,12 +159,129 @@ func NewHandlerConfig(e *Engine, hc HandlerConfig) http.Handler {
 			return
 		}
 		role := "leader"
-		if !e.Writable() {
+		if !s.Writable() {
 			role = "follower"
 		}
-		writeJSON(w, map[string]any{"status": "ok", "role": role, "writable": e.Writable()})
+		writeJSON(w, map[string]any{"status": "ok", "role": role, "writable": s.Writable()})
 	})
 	return mux
+}
+
+// enginePayload renders one engine's Stats as the /v1/stats JSON object —
+// the top-level schema of a standalone engine, and the per-shard block schema
+// of a fleet (checkpoint_age_ms and the WAL counters are per-shard by
+// construction: every shard runs its own log and checkpoint cadence).
+func enginePayload(st Stats, liveWM float64, hasLiveWM bool, numNodes int) map[string]any {
+	ckptAgeMS := int64(-1) // -1 = no checkpoint yet
+	if !st.LastCheckpoint.IsZero() {
+		ckptAgeMS = time.Since(st.LastCheckpoint).Milliseconds()
+	}
+	return map[string]any{
+		"live_watermark": liveWM, "has_live_watermark": hasLiveWM,
+		"requests": st.Requests, "batches": st.Batches,
+		"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
+		"cache_hits": st.CacheHits, "cache_stale": st.CacheStale, "cache_misses": st.CacheMisses,
+		"snapshot_version": st.SnapshotVersion,
+		"watermark":        st.Watermark, "has_watermark": st.HasWatermark,
+		"events": st.Events, "nodes": numNodes,
+		"weight_version": st.WeightVersion, "weight_swaps": st.WeightSwaps,
+		"avg_swap_us":  st.AvgSwap.Microseconds(),
+		"durable":      st.Durable,
+		"read_only":    st.ReadOnly,
+		"wal_appended": st.WALAppended, "wal_synced": st.WALSynced,
+		"wal_syncs": st.WALSyncs, "wal_segments": st.WALSegments,
+		"wal_failures": st.WALFailures,
+		"checkpoints":  st.Checkpoints, "checkpoint_fails": st.CheckpointFails,
+		"checkpoint_events": st.CheckpointEvents,
+		"checkpoint_age_ms": ckptAgeMS,
+		"p50_us":            st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+	}
+}
+
+// statsPayload implements Server.
+func (e *Engine) statsPayload() map[string]any {
+	liveWM, hasLiveWM := e.Watermark() // may be ahead of the snapshot's
+	return enginePayload(e.Stats(), liveWM, hasLiveWM, e.cfg.NumNodes)
+}
+
+// statsPayload implements Server: the merged fleet view under the same
+// top-level keys a standalone engine reports (sums for throughput and WAL
+// counters, max for watermarks, min for the weight version — the version
+// guaranteed applied everywhere, distinct events for the event count), plus
+// one full per-shard block per engine under "shards" and the fleet's routing
+// counters. Latency percentiles are fleet-level: they include the router's
+// scatter/gather overhead, which no shard sees.
+func (f *Fleet) statsPayload() map[string]any {
+	st := f.Stats()
+	var merged Stats
+	minWV := uint64(0)
+	var oldestCkpt time.Time
+	haveCkpt := false
+	snapEvents := 0
+	for i, ss := range st.Shards {
+		merged.Batches += ss.Batches
+		merged.Roots += ss.Roots
+		merged.CacheHits += ss.CacheHits
+		merged.CacheStale += ss.CacheStale
+		merged.CacheMisses += ss.CacheMisses
+		merged.WeightSwaps += ss.WeightSwaps
+		merged.WALAppended += ss.WALAppended
+		merged.WALSynced += ss.WALSynced
+		merged.WALSyncs += ss.WALSyncs
+		merged.WALSegments += ss.WALSegments
+		merged.WALFailures += ss.WALFailures
+		merged.Checkpoints += ss.Checkpoints
+		merged.CheckpointFails += ss.CheckpointFails
+		merged.CheckpointEvents += ss.CheckpointEvents
+		snapEvents += ss.Events
+		if ss.SnapshotVersion > merged.SnapshotVersion {
+			merged.SnapshotVersion = ss.SnapshotVersion
+		}
+		if ss.HasWatermark && (!merged.HasWatermark || ss.Watermark > merged.Watermark) {
+			merged.Watermark, merged.HasWatermark = ss.Watermark, true
+		}
+		if i == 0 || ss.WeightVersion < minWV {
+			minWV = ss.WeightVersion
+		}
+		if ss.AvgSwap > merged.AvgSwap {
+			merged.AvgSwap = ss.AvgSwap
+		}
+		if i == 0 {
+			merged.Durable = ss.Durable
+		} else {
+			merged.Durable = merged.Durable && ss.Durable
+		}
+		if ss.Durable && !ss.LastCheckpoint.IsZero() {
+			if !haveCkpt || ss.LastCheckpoint.Before(oldestCkpt) {
+				oldestCkpt = ss.LastCheckpoint
+			}
+			haveCkpt = true
+		}
+	}
+	merged.Requests = st.Requests
+	merged.WeightVersion = minWV
+	merged.Events = int(st.Ingested)
+	merged.P50, merged.P99 = st.P50, st.P99
+	if haveCkpt {
+		// The oldest shard checkpoint bounds the fleet's recovery replay cost.
+		merged.LastCheckpoint = oldestCkpt
+	}
+	liveWM, hasLiveWM := f.Watermark()
+	out := enginePayload(merged, liveWM, hasLiveWM, f.cfg.NumNodes)
+	out["shard_count"] = len(f.shards)
+	out["events_teed"] = st.Teed
+	out["cross_shard_predicts"] = st.CrossShard
+	out["gather_retries"] = st.GatherRetries
+	out["snapshot_events_total"] = snapEvents // distinct + teed copies across shard snapshots
+	blocks := make([]map[string]any, 0, len(f.shards))
+	for i, s := range f.shards {
+		wm, has := s.Watermark()
+		b := enginePayload(st.Shards[i], wm, has, f.cfg.NumNodes)
+		b["shard"] = i
+		blocks = append(blocks, b)
+	}
+	out["shards"] = blocks
+	return out
 }
 
 // decode parses the JSON body into dst, writing a 400 on failure.

@@ -1,0 +1,119 @@
+package serve
+
+import "testing"
+
+// TestRingBalance: with the default virtual-point count, the owned-key mass
+// per shard stays balanced — max/min within 1.5× over a large sequential id
+// space (sequential ids are the realistic worst case: datasets assign node
+// ids densely from 0).
+func TestRingBalance(t *testing.T) {
+	const keys = 200_000
+	for _, K := range []int{2, 4, 8} {
+		r, err := NewRing(K, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, K)
+		for n := int32(0); n < keys; n++ {
+			counts[r.Owner(n)]++
+		}
+		mn, mx := counts[0], counts[0]
+		for _, c := range counts {
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		if mn == 0 {
+			t.Fatalf("K=%d: a shard owns no keys: %v", K, counts)
+		}
+		if ratio := float64(mx) / float64(mn); ratio > 1.5 {
+			t.Fatalf("K=%d: load ratio %.3f > 1.5 (counts %v)", K, ratio, counts)
+		}
+	}
+}
+
+// TestRingResizeRemap: growing K→K+1 only moves keys, never shuffles them —
+// every reassigned key moves to the new shard (the consistent-hashing
+// guarantee: surviving shards' virtual points are unchanged), and the moved
+// fraction is near the ideal 1/(K+1).
+func TestRingResizeRemap(t *testing.T) {
+	const keys = 100_000
+	for _, K := range []int{2, 4, 8} {
+		old, err := NewRing(K, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := NewRing(K+1, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for n := int32(0); n < keys; n++ {
+			a, b := old.Owner(n), grown.Owner(n)
+			if a == b {
+				continue
+			}
+			if b != K {
+				t.Fatalf("K=%d→%d: key %d moved %d→%d, not to the new shard", K, K+1, n, a, b)
+			}
+			moved++
+		}
+		frac, ideal := float64(moved)/keys, 1.0/float64(K+1)
+		if frac < 0.5*ideal || frac > 1.5*ideal {
+			t.Fatalf("K=%d→%d: moved fraction %.4f, want within [%.4f, %.4f] of ideal %.4f",
+				K, K+1, frac, 0.5*ideal, 1.5*ideal, ideal)
+		}
+	}
+}
+
+// TestRingSeedStable: the assignment is a pure function of (shards, vnodes,
+// seed) — identical across constructions (what lets a restarted fleet reopen
+// its per-shard stores) — and a different seed yields a different layout.
+func TestRingSeedStable(t *testing.T) {
+	a, err := NewRing(4, 0, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 0, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRing(4, 0, 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for n := int32(0); n < 10_000; n++ {
+		if a.Owner(n) != b.Owner(n) {
+			t.Fatalf("same (K, vnodes, seed) disagrees on node %d", n)
+		}
+		if a.Owner(n) != c.Owner(n) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced an identical assignment over 10k keys")
+	}
+}
+
+// TestRingValidation: degenerate configurations fail loudly.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 0, 1); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewRing(2, -1, 1); err == nil {
+		t.Fatal("negative vnodes accepted")
+	}
+	r, err := NewRing(1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int32(0); n < 1000; n++ {
+		if r.Owner(n) != 0 {
+			t.Fatal("K=1 ring must own everything on shard 0")
+		}
+	}
+}

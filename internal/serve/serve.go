@@ -527,6 +527,13 @@ func (e *Engine) publishWeightsCore(w *models.WeightSet) error {
 // model (1 until the first published set is swapped in).
 func (e *Engine) WeightVersion() uint64 { return e.weightVersion.Load() }
 
+// PublishedWeights returns the newest weight set offered to the serving path
+// (which the scheduler may not have applied yet), or nil while the engine
+// still serves its constructor weights. The fleet uses it after per-shard
+// recovery to level shards that checkpointed different weight versions
+// (a crash can split a publication fan-out); the returned set is immutable.
+func (e *Engine) PublishedWeights() *models.WeightSet { return e.weights.Load() }
+
 // FinetuneHints returns the Config's fine-tuning knobs for an attached
 // tuner (zero values mean "use the tuner's defaults").
 func (e *Engine) FinetuneHints() (interval time.Duration, replayWindow int) {
