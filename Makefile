@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke shard-smoke bench-shards
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-kernels bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke shard-smoke bench-shards bce-check
 
 all: build test
 
@@ -52,6 +52,18 @@ bench-ingest:
 # (see DESIGN.md §7/§8).
 bench-alloc:
 	$(GO) run ./cmd/taser-bench -exp alloc
+
+# Raw-speed floor: blocked vs seed MatMul kernels on the model shapes
+# (ns/op, GFLOP/s), the dense/sparse density crossover, and the quantized
+# serving path's footprint, latency and MRR delta (see DESIGN.md §13).
+bench-kernels:
+	$(GO) run ./cmd/taser-bench -exp kernels
+
+# Bounds-check-elimination guard: rebuild internal/tensor with
+# -d=ssa/check_bce and fail if the residual check sites drift from
+# scripts/bce_allowlist.txt (run with -update after intentional changes).
+bce-check:
+	bash scripts/bce_check.sh
 
 # Online fine-tuning on a drifted stream: frozen vs fine-tuned prequential
 # MRR, with weight publication measured as non-blocking (see DESIGN.md §8).

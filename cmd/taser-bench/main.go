@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|finetune|recover|replicate|loadhttp|all)")
+		exp        = flag.String("exp", "", "experiment to run (table1|table2|table3|fig1|fig3a|fig3b|fig4|ablation-encoder|ablation-decoder|ablation-cache|serve|ingest|alloc|kernels|finetune|recover|replicate|loadhttp|all)")
 		scale      = flag.Float64("scale", 0.25, "dataset scale multiplier")
 		epochs     = flag.Int("epochs", 6, "training epochs for accuracy experiments")
 		hidden     = flag.Int("hidden", 24, "hidden dimension")
@@ -103,6 +103,7 @@ func main() {
 		"serve":               bench.Serve,
 		"ingest":              bench.Ingest,
 		"alloc":               bench.Alloc,
+		"kernels":             bench.Kernels,
 		"finetune":            bench.Finetune,
 		"recover":             bench.Recover,
 		"replicate":           bench.Replicate,
@@ -110,7 +111,7 @@ func main() {
 	}
 	order := []string{"table2", "table1", "fig1", "table3", "fig3a", "fig3b", "fig4",
 		"ablation-encoder", "ablation-decoder", "ablation-cache", "ablation-heuristics",
-		"pipeline", "serve", "ingest", "alloc", "finetune", "recover", "replicate"}
+		"pipeline", "serve", "ingest", "alloc", "kernels", "finetune", "recover", "replicate"}
 
 	run := func(name string) {
 		fmt.Printf("=== %s ===\n", name)

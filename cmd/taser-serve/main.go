@@ -60,6 +60,7 @@ import (
 
 	"taser/internal/datasets"
 	"taser/internal/finetune"
+	"taser/internal/models"
 	"taser/internal/replica"
 	"taser/internal/sampler"
 	"taser/internal/serve"
@@ -84,6 +85,7 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 256, "publish a snapshot every k ingested events")
 		latWindow = flag.Int("latency-window", 0, "request latencies retained for P50/P99 stats (0 = default 4096)")
 		replay    = flag.Bool("replay", false, "replay the val/test split through ingest at startup")
+		quant     = flag.String("quant", "none", "serving weight quantization: none|f32|int8 (fine-tuning keeps f64 masters)")
 
 		walDir    = flag.String("wal-dir", "", "durable store directory: WAL + checkpoints (empty = durability off)")
 		walSync   = flag.Int("wal-sync-every", 0, "events per WAL group commit (0 = serve default 64; 1 = fsync every event)")
@@ -103,6 +105,11 @@ func main() {
 	)
 	flag.Parse()
 	validateFlags(*walDir, *replFrom, *replListen, *promote, *ftOn, *replay, *shards, *model)
+	quantMode, err := models.ParseQuantization(*quant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	ds, ok := datasets.ByName(*dataset, *scale, *seed)
 	if !ok {
@@ -132,6 +139,7 @@ func main() {
 		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, LatencyWindow: *latWindow,
 		FinetuneInterval: *ftInterval, ReplayWindow: *ftWindow,
 		Durability: serve.Durability{Dir: *walDir, SyncEvery: *walSync, CheckpointEvery: *ckptEvery},
+		Quantize:   quantMode,
 		Seed:       *seed,
 	}
 	if *shards > 1 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyOptions keeps package tests fast: minuscule datasets, one epoch.
@@ -154,6 +155,24 @@ func TestAllocSmoke(t *testing.T) {
 	for _, want := range []string{"train-step", "serve-predict", "cold", "warm"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("alloc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKernelsSmoke(t *testing.T) {
+	// Gut the timing loops: the smoke test checks wiring and the quantized
+	// path end to end, not measurement quality.
+	oldBudget, oldRounds := kernelTimeBudget, kernelTimeRounds
+	kernelTimeBudget, kernelTimeRounds = time.Millisecond, 1
+	defer func() { kernelTimeBudget, kernelTimeRounds = oldBudget, oldRounds }()
+	var buf bytes.Buffer
+	if err := Kernels(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Dense MatMul", "MatMulTransB", "Sparsity crossover", "Quantized serving", "int8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kernels output missing %q:\n%s", want, out)
 		}
 	}
 }

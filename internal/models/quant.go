@@ -1,0 +1,164 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"taser/internal/tensor"
+)
+
+// Quantization selects the numeric representation the serving path stores
+// published weights in. Fine-tuning always publishes float64 masters; a
+// serving engine configured with a quantization mode clones each published
+// set through the compact representation before storing it (DESIGN.md §13).
+// The f64 master is never mutated — ownership of precision stays with the
+// tuner, and disabling quantization is a pure config change.
+type Quantization int
+
+const (
+	// QuantNone serves the published float64 masters unchanged.
+	QuantNone Quantization = iota
+	// QuantF32 rounds every parameter to float32 precision (~1e-7 relative).
+	QuantF32
+	// QuantInt8 rounds every parameter to 8-bit fixed point with one
+	// power-of-two scale per tensor (~0.4% of the tensor's max magnitude).
+	QuantInt8
+)
+
+func (q Quantization) String() string {
+	switch q {
+	case QuantNone:
+		return "none"
+	case QuantF32:
+		return "f32"
+	case QuantInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("Quantization(%d)", int(q))
+}
+
+// ParseQuantization maps the flag spellings to a mode.
+func ParseQuantization(s string) (Quantization, error) {
+	switch s {
+	case "", "none", "f64":
+		return QuantNone, nil
+	case "f32", "float32":
+		return QuantF32, nil
+	case "int8", "i8":
+		return QuantInt8, nil
+	}
+	return QuantNone, fmt.Errorf("models: unknown quantization %q (want none, f32 or int8)", s)
+}
+
+// QuantTensor is one parameter tensor in compact form: exactly one of F32 or
+// I8 is populated. I8 values decode as float64(v) * Scale.
+type QuantTensor struct {
+	Rows, Cols int
+	F32        []float32
+	I8         []int8
+	Scale      float64
+}
+
+// QuantizedWeightSet is the compact clone of a WeightSet. It exists as a
+// storage/transport form — serving dequantizes it back to float64 once per
+// publication (the hot kernels stay f64-only) — and to make the quantization
+// footprint measurable: Bytes() vs the 8-byte-per-parameter master.
+type QuantizedWeightSet struct {
+	Version uint64
+	Mode    Quantization
+	Tensors []QuantTensor
+}
+
+// int8Scale returns the power-of-two scale for a tensor with the given max
+// magnitude. A power of two makes quantize → dequantize → quantize exact:
+// v/Scale and q*Scale only shift the exponent, so re-quantizing a quantized
+// tensor reproduces it bitwise. That idempotence is load-bearing — crash
+// recovery republishes checkpointed (already quantized) weights through the
+// same PublishWeights quantization hook, and serving state must not drift
+// across recoveries (DESIGN.md §9).
+func int8Scale(maxAbs float64) float64 {
+	if maxAbs == 0 {
+		return 1
+	}
+	return math.Ldexp(1, int(math.Ceil(math.Log2(maxAbs/127))))
+}
+
+// QuantizeWeights clones ws into the compact representation of the given
+// mode. QuantNone is rejected — callers should keep the master instead of
+// paying for a lossless copy.
+func QuantizeWeights(ws *WeightSet, mode Quantization) (*QuantizedWeightSet, error) {
+	if mode != QuantF32 && mode != QuantInt8 {
+		return nil, fmt.Errorf("models: QuantizeWeights mode %v", mode)
+	}
+	q := &QuantizedWeightSet{Version: ws.Version, Mode: mode, Tensors: make([]QuantTensor, len(ws.Params))}
+	for i, p := range ws.Params {
+		qt := QuantTensor{Rows: p.Rows, Cols: p.Cols}
+		switch mode {
+		case QuantF32:
+			qt.F32 = make([]float32, len(p.Data))
+			for j, v := range p.Data {
+				qt.F32[j] = float32(v)
+			}
+		case QuantInt8:
+			qt.Scale = int8Scale(p.MaxAbs())
+			qt.I8 = make([]int8, len(p.Data))
+			inv := 1 / qt.Scale
+			for j, v := range p.Data {
+				r := math.Round(v * inv)
+				if r > 127 {
+					r = 127
+				} else if r < -127 {
+					r = -127
+				}
+				qt.I8[j] = int8(r)
+			}
+		}
+		q.Tensors[i] = qt
+	}
+	return q, nil
+}
+
+// Dequantize expands the compact set back to a float64 WeightSet for the
+// serving kernels. The result carries the source version.
+func (q *QuantizedWeightSet) Dequantize() *WeightSet {
+	ws := &WeightSet{Version: q.Version, Params: make([]*tensor.Matrix, len(q.Tensors))}
+	for i, qt := range q.Tensors {
+		m := tensor.New(qt.Rows, qt.Cols)
+		if qt.F32 != nil {
+			for j, v := range qt.F32 {
+				m.Data[j] = float64(v)
+			}
+		} else {
+			for j, v := range qt.I8 {
+				m.Data[j] = float64(v) * qt.Scale
+			}
+		}
+		ws.Params[i] = m
+	}
+	return ws
+}
+
+// Bytes reports the compact set's parameter payload size.
+func (q *QuantizedWeightSet) Bytes() int {
+	n := 0
+	for _, qt := range q.Tensors {
+		n += 4*len(qt.F32) + len(qt.I8)
+	}
+	return n
+}
+
+// Clone applies the quantization mode to a published float64 master:
+// QuantNone returns ws itself; the other modes return a fresh WeightSet
+// whose values have been rounded through the compact representation (the
+// stored set is exactly what a QuantizedWeightSet would decode to).
+// Re-applying any mode to its own output is bitwise-idempotent.
+func (q Quantization) Clone(ws *WeightSet) (*WeightSet, error) {
+	if q == QuantNone {
+		return ws, nil
+	}
+	qs, err := QuantizeWeights(ws, q)
+	if err != nil {
+		return nil, err
+	}
+	return qs.Dequantize(), nil
+}

@@ -1,0 +1,147 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"taser/internal/mathx"
+	"taser/internal/tensor"
+)
+
+func testMaster(seed uint64) *WeightSet {
+	rng := mathx.NewRNG(seed)
+	return &WeightSet{Version: 7, Params: []*tensor.Matrix{
+		tensor.Randn(10, 24, 0.3, rng),
+		tensor.Randn(1, 24, 0.01, rng),
+		tensor.Randn(48, 10, 1.5, rng),
+	}}
+}
+
+func bitwiseEqualSets(a, b *WeightSet) bool {
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		x, y := a.Params[i], b.Params[i]
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for j := range x.Data {
+			if math.Float64bits(x.Data[j]) != math.Float64bits(y.Data[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	ws := testMaster(1)
+	f32, err := QuantF32.Clone(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := QuantInt8.Clone(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f32.Version != ws.Version || i8.Version != ws.Version {
+		t.Fatal("quantized clones must carry the master's version")
+	}
+	for i, p := range ws.Params {
+		maxAbs := p.MaxAbs()
+		scaleBound := math.Ldexp(1, int(math.Ceil(math.Log2(maxAbs/127)))) / 2
+		for j, v := range p.Data {
+			if d := math.Abs(f32.Params[i].Data[j] - v); d > 1e-6*(1+math.Abs(v)) {
+				t.Fatalf("f32 param %d[%d]: error %v", i, j, d)
+			}
+			if d := math.Abs(i8.Params[i].Data[j] - v); d > scaleBound+1e-15 {
+				t.Fatalf("int8 param %d[%d]: error %v exceeds scale/2 = %v", i, j, d, scaleBound)
+			}
+		}
+	}
+}
+
+// TestQuantizeIdempotent pins the recovery invariant: republishing an
+// already-quantized set through the same mode must reproduce it bitwise
+// (crash recovery re-runs the PublishWeights quantization hook on
+// checkpointed weights).
+func TestQuantizeIdempotent(t *testing.T) {
+	ws := testMaster(2)
+	for _, mode := range []Quantization{QuantF32, QuantInt8} {
+		once, err := mode.Clone(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := mode.Clone(once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitwiseEqualSets(once, twice) {
+			t.Fatalf("%v: re-quantizing a quantized set changed it", mode)
+		}
+	}
+}
+
+func TestQuantNoneIsIdentity(t *testing.T) {
+	ws := testMaster(3)
+	got, err := QuantNone.Clone(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ws {
+		t.Fatal("QuantNone must return the master unchanged")
+	}
+}
+
+func TestQuantZeroTensor(t *testing.T) {
+	ws := &WeightSet{Version: 1, Params: []*tensor.Matrix{tensor.New(3, 4)}}
+	for _, mode := range []Quantization{QuantF32, QuantInt8} {
+		got, err := mode.Clone(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got.Params[0].Data {
+			if v != 0 {
+				t.Fatalf("%v: zero tensor must quantize to zero", mode)
+			}
+		}
+	}
+}
+
+func TestQuantizedWeightSetBytes(t *testing.T) {
+	ws := testMaster(4)
+	n := 0
+	for _, p := range ws.Params {
+		n += len(p.Data)
+	}
+	qf, err := QuantizeWeights(ws, QuantF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi, err := QuantizeWeights(ws, QuantInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qf.Bytes() != 4*n || qi.Bytes() != n {
+		t.Fatalf("Bytes: f32 %d want %d, int8 %d want %d", qf.Bytes(), 4*n, qi.Bytes(), n)
+	}
+}
+
+func TestParseQuantization(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Quantization
+	}{{"none", QuantNone}, {"", QuantNone}, {"f32", QuantF32}, {"int8", QuantInt8}} {
+		got, err := ParseQuantization(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseQuantization(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseQuantization("fp4"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+	if QuantInt8.String() != "int8" || QuantF32.String() != "f32" || QuantNone.String() != "none" {
+		t.Fatal("String spellings drive flag round-trips")
+	}
+}

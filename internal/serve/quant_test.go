@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"taser/internal/datasets"
+	"taser/internal/mathx"
+	"taser/internal/models"
+	"taser/internal/sampler"
+	"taser/internal/train"
+)
+
+// newQuantTestEngine builds an engine like newWeightTestEngine but from a
+// shared trainer (so sibling engines serve identical architectures and
+// bootstraps) with the given serving quantization.
+func newQuantTestEngine(t *testing.T, tr *train.Trainer, ds *datasets.Dataset, q models.Quantization) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Model: tr.Model.Clone(), Pred: tr.Pred.Clone(),
+		NumNodes: ds.Spec.NumNodes, NodeFeat: ds.NodeFeat, EdgeDim: ds.Spec.EdgeDim,
+		Budget: 5, Policy: sampler.MostRecent,
+		MaxBatch: 8, MaxWait: 100 * time.Microsecond, Seed: 3,
+		Quantize: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	if err := e.Bootstrap(ds.Graph.Events[:ds.TrainEnd], ds.EdgeFeat.SliceRows(ds.TrainEnd)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// engineMRR scores the n events after the bootstrap prefix against negs
+// sampled negatives each (deterministic in seed) and returns the mean
+// reciprocal rank of the true destination.
+func engineMRR(t *testing.T, e *Engine, ds *datasets.Dataset, n, negs int, seed uint64) float64 {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	var sum float64
+	events := ds.Graph.Events[ds.TrainEnd : ds.TrainEnd+n]
+	for _, ev := range events {
+		pos, err := e.PredictLink(ev.Src, ev.Dst, ev.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := 1
+		for k := 0; k < negs; k++ {
+			neg := int32(rng.Intn(ds.Spec.NumNodes))
+			r, err := e.PredictLink(ev.Src, neg, ev.Time)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Score >= pos.Score {
+				rank++
+			}
+		}
+		sum += 1 / float64(rank)
+	}
+	return sum / float64(len(events))
+}
+
+// TestQuantizedPublishStoresRoundedClone pins the ownership rule: the master
+// the fine-tuner publishes stays f64 and untouched, while the engine stores
+// (and serves) exactly the mode's rounded clone of it.
+func TestQuantizedPublishStoresRoundedClone(t *testing.T) {
+	ds := datasets.Wikipedia(0.05, 7)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 10, TimeDim: 6, Seed: 5,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newQuantTestEngine(t, tr, ds, models.QuantInt8)
+	master := perturbed(e, 2, 1.25)
+	masterCopy := master.Clone()
+	if err := e.PublishWeights(master); err != nil {
+		t.Fatal(err)
+	}
+	if !bitwiseEqualSets(master, masterCopy) {
+		t.Fatal("PublishWeights mutated the published master")
+	}
+	stored := e.PublishedWeights()
+	if stored == master {
+		t.Fatal("quantized engine stored the f64 master instead of a rounded clone")
+	}
+	want, err := models.QuantInt8.Clone(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitwiseEqualSets(stored, want) {
+		t.Fatal("stored weights are not the int8 round-trip of the master")
+	}
+	if stored.Version != master.Version {
+		t.Fatalf("stored version %d, want %d", stored.Version, master.Version)
+	}
+	wm, _ := e.Watermark()
+	if _, err := e.Embed(0, wm+1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.WeightVersion(); got != 2 {
+		t.Fatalf("applied version %d, want 2", got)
+	}
+}
+
+// bitwiseEqualSets compares two weight sets element-bitwise.
+func bitwiseEqualSets(a, b *models.WeightSet) bool {
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		x, y := a.Params[i], b.Params[i]
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for j := range x.Data {
+			if math.Float64bits(x.Data[j]) != math.Float64bits(y.Data[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuantizedServingMRRDelta is the MRR-delta guard from DESIGN.md §13:
+// across a prequential slice of held-out events, f32 serving must match f64
+// ranking almost exactly (|ΔMRR| ≤ 0.005) and int8 must stay within the
+// documented 0.05 budget. The smoke model here is untrained, which makes
+// the int8 delta pessimistic — rankings near chance are maximally sensitive
+// to weight rounding — so a trained model sits well inside the budget.
+func TestQuantizedServingMRRDelta(t *testing.T) {
+	ds := datasets.Wikipedia(0.05, 7)
+	tr, err := train.New(train.Config{
+		Model: train.ModelTGAT, Finder: train.FinderGPU, FinderPolicy: "recent",
+		Hidden: 10, TimeDim: 6, Seed: 5,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newQuantTestEngine(t, tr, ds, models.QuantNone)
+	f32e := newQuantTestEngine(t, tr, ds, models.QuantF32)
+	i8e := newQuantTestEngine(t, tr, ds, models.QuantInt8)
+
+	// One shared f64 master, published to all three engines — exactly the
+	// fine-tuner fan-out the quantization modes slot into.
+	master := models.CaptureWeights(2, tr.Model, tr.Pred)
+	for _, e := range []*Engine{base, f32e, i8e} {
+		if err := e.PublishWeights(master.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const n, negs, seed = 40, 10, 17
+	mrr := engineMRR(t, base, ds, n, negs, seed)
+	mrrF32 := engineMRR(t, f32e, ds, n, negs, seed)
+	mrrI8 := engineMRR(t, i8e, ds, n, negs, seed)
+	t.Logf("MRR f64=%.4f f32=%.4f (Δ=%+.4f) int8=%.4f (Δ=%+.4f)",
+		mrr, mrrF32, mrrF32-mrr, mrrI8, mrrI8-mrr)
+	if d := math.Abs(mrrF32 - mrr); d > 0.005 {
+		t.Fatalf("f32 serving MRR delta %v exceeds 0.005", d)
+	}
+	if d := math.Abs(mrrI8 - mrr); d > 0.05 {
+		t.Fatalf("int8 serving MRR delta %v exceeds the 0.05 budget", d)
+	}
+}

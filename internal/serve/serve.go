@@ -95,6 +95,13 @@ type Config struct {
 	// in-memory.
 	Durability Durability
 
+	// Quantize selects the serving-side weight representation (DESIGN.md
+	// §13). Fine-tuners keep publishing float64 masters; with QuantF32 or
+	// QuantInt8 the engine stores (and checkpoints) a rounded clone of each
+	// publication, trading weight precision for footprint under an MRR error
+	// budget guarded by the serve tests. The zero value serves f64 unchanged.
+	Quantize models.Quantization
+
 	Seed uint64
 	Xfer *device.XferStats // optional transfer accounting shared with offline runs
 }
@@ -503,6 +510,15 @@ func (e *Engine) publishWeightsCore(w *models.WeightSet) error {
 	}
 	if err := w.Matches(e.cfg.Model, e.cfg.Pred); err != nil {
 		return fmt.Errorf("serve: published weights do not fit the serving model: %w", err)
+	}
+	// Quantize before storing, so the applied weights, PublishedWeights and
+	// every checkpoint all hold the same rounded clone. Recovery republishes
+	// checkpointed (already quantized) sets through this same path;
+	// quantization is bitwise-idempotent (models.Quantization.Clone), so a
+	// recovered engine serves exactly the weights it crashed with.
+	w, err := e.cfg.Quantize.Clone(w)
+	if err != nil {
+		return fmt.Errorf("serve: quantizing published weights: %w", err)
 	}
 	// CAS loop against the latest *published* set (which may be ahead of the
 	// applied version when no flush has run yet), so a slower publisher can

@@ -5,12 +5,25 @@ import (
 	"math"
 )
 
+// Row kernels. Degenerate shapes are uniform across the package: a kernel
+// whose input has zero rows or zero columns is a no-op (there is nothing to
+// read or write — SoftmaxRowsInto in particular must not index in[0] of an
+// empty row), while an invalid grouping parameter (group ≤ 0) panics with an
+// explicit message. Inner loops hoist their bounds: every slice indexed by
+// the loop variable is pre-sliced to the range length, so the compiler
+// eliminates the per-element checks (scripts/bce_check.sh guards this).
+
 // SoftmaxRowsInto writes the row-wise softmax of src into dst (may alias).
+// Zero-column input is a no-op.
 func SoftmaxRowsInto(dst, src *Matrix) {
 	src.shapeCheck(dst, "SoftmaxRows")
+	if src.Cols == 0 {
+		return
+	}
+	c := src.Cols
 	for i := 0; i < src.Rows; i++ {
-		in := src.Row(i)
-		out := dst.Row(i)
+		in := src.Data[i*c : i*c+c]
+		out := dst.Data[i*c : i*c+c][:len(in)]
 		m := in[0]
 		for _, v := range in[1:] {
 			if v > m {
@@ -33,16 +46,23 @@ func SoftmaxRowsInto(dst, src *Matrix) {
 // LayerNormRowsInto normalizes each row of src to zero mean / unit variance,
 // then applies the per-column gain g and bias b (both 1×C). meanOut/invStdOut
 // (len Rows) receive the per-row statistics needed for the backward pass; they
-// may be nil for inference.
+// may be nil for inference. Zero-column input is a no-op (no statistics are
+// written either: a zero-width row has no mean).
 func LayerNormRowsInto(dst, src, g, b *Matrix, meanOut, invStdOut []float64, eps float64) {
 	src.shapeCheck(dst, "LayerNormRows")
 	if g.Cols != src.Cols || b.Cols != src.Cols {
 		panic("tensor: LayerNormRows gain/bias width")
 	}
-	c := float64(src.Cols)
+	if src.Cols == 0 {
+		return
+	}
+	cols := src.Cols
+	c := float64(cols)
 	for i := 0; i < src.Rows; i++ {
-		in := src.Row(i)
-		out := dst.Row(i)
+		in := src.Data[i*cols : i*cols+cols]
+		out := dst.Data[i*cols : i*cols+cols][:len(in)]
+		gd := g.Data[:len(in)]
+		bd := b.Data[:len(in)]
 		var mean float64
 		for _, v := range in {
 			mean += v
@@ -60,7 +80,7 @@ func LayerNormRowsInto(dst, src, g, b *Matrix, meanOut, invStdOut []float64, eps
 			invStdOut[i] = invStd
 		}
 		for j, v := range in {
-			out[j] = (v-mean)*invStd*g.Data[j] + b.Data[j]
+			out[j] = (v-mean)*invStd*gd[j] + bd[j]
 		}
 	}
 }
@@ -81,9 +101,11 @@ func ScatterAddRows(dst, src *Matrix, idx []int32) {
 	if src.Rows != len(idx) || dst.Cols != src.Cols {
 		panic("tensor: ScatterAddRows shape")
 	}
+	c := src.Cols
 	for i, id := range idx {
-		drow := dst.Row(int(id))
-		for j, v := range src.Row(i) {
+		srow := src.Data[i*c : i*c+c]
+		drow := dst.Data[int(id)*c : int(id)*c+c][:len(srow)]
+		for j, v := range srow {
 			drow[j] += v
 		}
 	}
@@ -120,17 +142,21 @@ func SliceColsInto(dst, src *Matrix, lo, hi int) {
 // GroupMeanInto averages each consecutive group of `group` rows of src into
 // one row of dst: dst row g = mean(src rows [g*group, (g+1)*group)).
 func GroupMeanInto(dst, src *Matrix, group int) {
+	if group <= 0 {
+		panic(fmt.Sprintf("tensor: GroupMean group %d must be positive", group))
+	}
 	if src.Rows%group != 0 || dst.Rows != src.Rows/group || dst.Cols != src.Cols {
 		panic("tensor: GroupMean shape")
 	}
+	c := src.Cols
 	inv := 1 / float64(group)
 	for g := 0; g < dst.Rows; g++ {
-		out := dst.Row(g)
+		out := dst.Data[g*c : g*c+c]
 		for j := range out {
 			out[j] = 0
 		}
 		for r := g * group; r < (g+1)*group; r++ {
-			row := src.Row(r)
+			row := src.Data[r*c : r*c+c][:len(out)]
 			for j, v := range row {
 				out[j] += v
 			}
@@ -144,20 +170,46 @@ func GroupMeanInto(dst, src *Matrix, group int) {
 // GroupedScoreInto computes per-group dot products: for each group g of
 // `group` consecutive rows of keys, scores[g][k] = q.Row(g) · keys.Row(g*group+k).
 // scores must be (keys.Rows/group)×group; q must be (keys.Rows/group)×d.
+// Zero-width embeddings (d == 0) score 0 everywhere.
 func GroupedScoreInto(scores, q, keys *Matrix, group int) {
+	if group <= 0 {
+		panic(fmt.Sprintf("tensor: GroupedScore group %d must be positive", group))
+	}
 	b := keys.Rows / group
 	if keys.Rows%group != 0 || q.Rows != b || q.Cols != keys.Cols ||
 		scores.Rows != b || scores.Cols != group {
 		panic("tensor: GroupedScore shape")
 	}
+	d := keys.Cols
 	for g := 0; g < b; g++ {
-		qrow := q.Row(g)
-		out := scores.Row(g)
-		for k := 0; k < group; k++ {
-			krow := keys.Row(g*group + k)
+		qrow := q.Data[g*d : g*d+d]
+		out := scores.Data[g*group : g*group+group]
+		base := g * group
+		k := 0
+		// Four keys per pass share each loaded query element.
+		for ; k+4 <= group; k += 4 {
+			r := (base + k) * d
+			k0 := keys.Data[r : r+d][:len(qrow)]
+			k1 := keys.Data[r+d : r+2*d][:len(qrow)]
+			k2 := keys.Data[r+2*d : r+3*d][:len(qrow)]
+			k3 := keys.Data[r+3*d : r+4*d][:len(qrow)]
+			var s0, s1, s2, s3 float64
+			for j, qv := range qrow {
+				s0 += qv * k0[j]
+				s1 += qv * k1[j]
+				s2 += qv * k2[j]
+				s3 += qv * k3[j]
+			}
+			out[k] = s0
+			out[k+1] = s1
+			out[k+2] = s2
+			out[k+3] = s3
+		}
+		for ; k < group; k++ {
+			krow := keys.Data[(base+k)*d : (base+k)*d+d][:len(qrow)]
 			var s float64
-			for d, qv := range qrow {
-				s += qv * krow[d]
+			for j, qv := range qrow {
+				s += qv * krow[j]
 			}
 			out[k] = s
 		}
@@ -165,25 +217,53 @@ func GroupedScoreInto(scores, q, keys *Matrix, group int) {
 }
 
 // GroupedWeightedSumInto computes, for each group g,
-// dst.Row(g) = Σ_k w[g][k] · vals.Row(g*group+k).
+// dst.Row(g) = Σ_k w[g][k] · vals.Row(g*group+k). The sum is dense — exact
+// zeros in w (rare for softmax weights) are multiplied through rather than
+// branched around — and accumulates k-ascending per element, so results are
+// bitwise-stable against the historical skip-based loop for finite inputs.
 func GroupedWeightedSumInto(dst, w, vals *Matrix, group int) {
+	if group <= 0 {
+		panic(fmt.Sprintf("tensor: GroupedWeightedSum group %d must be positive", group))
+	}
 	b := vals.Rows / group
 	if vals.Rows%group != 0 || w.Rows != b || w.Cols != group ||
 		dst.Rows != b || dst.Cols != vals.Cols {
 		panic("tensor: GroupedWeightedSum shape")
 	}
+	c := vals.Cols
+	if c == 0 {
+		return
+	}
 	for g := 0; g < b; g++ {
-		wrow := w.Row(g)
-		out := dst.Row(g)
+		wrow := w.Data[g*group : g*group+group]
+		out := dst.Data[g*c : g*c+c]
 		for j := range out {
 			out[j] = 0
 		}
-		for k := 0; k < group; k++ {
-			wv := wrow[k]
-			if wv == 0 {
-				continue
+		base := g * group
+		k := 0
+		for ; k+4 <= group; k += 4 {
+			wv0, wv1, wv2, wv3 := wrow[k], wrow[k+1], wrow[k+2], wrow[k+3]
+			r := (base + k) * c
+			v0 := vals.Data[r : r+c][:len(out)]
+			v1 := vals.Data[r+c : r+2*c][:len(out)]
+			v2 := vals.Data[r+2*c : r+3*c][:len(out)]
+			v3 := vals.Data[r+3*c : r+4*c][:len(out)]
+			for j := range out {
+				// Four sequential adds per element (not one fused sum):
+				// accumulation order stays k-ascending, bitwise-equal to the
+				// unrolled-by-one loop.
+				t := out[j]
+				t += wv0 * v0[j]
+				t += wv1 * v1[j]
+				t += wv2 * v2[j]
+				t += wv3 * v3[j]
+				out[j] = t
 			}
-			vrow := vals.Row(g*group + k)
+		}
+		for ; k < group; k++ {
+			wv := wrow[k]
+			vrow := vals.Data[(base+k)*c : (base+k)*c+c][:len(out)]
 			for j, v := range vrow {
 				out[j] += wv * v
 			}
@@ -194,7 +274,13 @@ func GroupedWeightedSumInto(dst, w, vals *Matrix, group int) {
 // GroupedMatMulLeftInto applies the shared K2×K matrix w on the left of each
 // K×C group of src: for group g, dst rows [g*K2,(g+1)*K2) = w @ src rows
 // [g*K,(g+1)*K). This is MLP-Mixer token mixing over per-root neighborhoods.
+// The inner product is dense (no zero-skip on w — mixer weights are dense,
+// and the branch costs more than the multiply) and register-tiled four dst
+// rows at a time so each streamed src row feeds four accumulate lanes.
 func GroupedMatMulLeftInto(dst, w, src *Matrix, group int) {
+	if group <= 0 {
+		panic(fmt.Sprintf("tensor: GroupedMatMulLeft group %d must be positive", group))
+	}
 	k2 := w.Rows
 	if w.Cols != group || src.Rows%group != 0 {
 		panic("tensor: GroupedMatMulLeft shape")
@@ -204,7 +290,7 @@ func GroupedMatMulLeftInto(dst, w, src *Matrix, group int) {
 		panic("tensor: GroupedMatMulLeft dst shape")
 	}
 	c := src.Cols
-	if b*k2*group*c < parallelThreshold || workerCount == 1 {
+	if b*k2*group*c < parallelThreshold || workerLimit() == 1 {
 		groupedMatMulLeftRange(dst, w, src, group, 0, b)
 		return
 	}
@@ -212,22 +298,53 @@ func GroupedMatMulLeftInto(dst, w, src *Matrix, group int) {
 }
 
 // groupedMatMulLeftRange computes groups [gLo, gHi) of GroupedMatMulLeftInto;
-// a named function so the serial path allocates no closure.
+// a named function so the serial path allocates no closure. Four output rows
+// share each loaded src row; per-element accumulation is k-ascending with
+// one sequential add per w element, bitwise-equal to the row-at-a-time loop.
 func groupedMatMulLeftRange(dst, w, src *Matrix, group, gLo, gHi int) {
 	k2, c := w.Rows, src.Cols
+	if c == 0 {
+		return
+	}
 	for g := gLo; g < gHi; g++ {
-		for i := 0; i < k2; i++ {
-			out := dst.Row(g*k2 + i)
+		srcBase := g * group * c
+		i := 0
+		for ; i+4 <= k2; i += 4 {
+			w0 := w.Data[i*group : i*group+group]
+			w1 := w.Data[(i+1)*group : (i+1)*group+group][:len(w0)]
+			w2 := w.Data[(i+2)*group : (i+2)*group+group][:len(w0)]
+			w3 := w.Data[(i+3)*group : (i+3)*group+group][:len(w0)]
+			o := (g*k2 + i) * c
+			out0 := dst.Data[o : o+c]
+			out1 := dst.Data[o+c : o+2*c][:len(out0)]
+			out2 := dst.Data[o+2*c : o+3*c][:len(out0)]
+			out3 := dst.Data[o+3*c : o+4*c][:len(out0)]
+			for j := range out0 {
+				out0[j] = 0
+				out1[j] = 0
+				out2[j] = 0
+				out3[j] = 0
+			}
+			for k := 0; k < group; k++ {
+				wv0, wv1, wv2, wv3 := w0[k], w1[k], w2[k], w3[k]
+				srow := src.Data[srcBase+k*c : srcBase+k*c+c][:len(out0)]
+				for j, v := range srow {
+					out0[j] += wv0 * v
+					out1[j] += wv1 * v
+					out2[j] += wv2 * v
+					out3[j] += wv3 * v
+				}
+			}
+		}
+		for ; i < k2; i++ {
+			wrow := w.Data[i*group : i*group+group]
+			out := dst.Data[(g*k2+i)*c : (g*k2+i)*c+c]
 			for j := range out {
 				out[j] = 0
 			}
-			wrow := w.Row(i)
 			for k := 0; k < group; k++ {
 				wv := wrow[k]
-				if wv == 0 {
-					continue
-				}
-				srow := src.Data[(g*group+k)*c : (g*group+k+1)*c]
+				srow := src.Data[srcBase+k*c : srcBase+k*c+c][:len(out)]
 				for j, v := range srow {
 					out[j] += wv * v
 				}

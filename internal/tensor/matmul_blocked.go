@@ -1,0 +1,247 @@
+package tensor
+
+import "sync"
+
+// Cache-blocked packed-panel matrix multiply (the large-matrix MatMulInto
+// path).
+//
+// The layout is the classic three-loop blocking (GotoBLAS/BLIS): B is packed
+// one Kc×Nc panel at a time, A one Mc×Kc panel at a time, and a 2×4
+// register-tiled micro-kernel walks the two packed panels in lockstep. The
+// packs exist so the micro-kernel's eight accumulators stream both operands
+// from contiguous, cache-resident memory with unit stride and no index
+// arithmetic — the Go compiler keeps the tile in registers and the inner loop
+// free of bounds checks (scripts/bce_check.sh pins that).
+//
+// The tile is 2×4, not the textbook 4×4, because this repo targets
+// GOAMD64=v1: the compiler emits scalar SSE2, one float64 per XMM register,
+// and there are sixteen XMM registers. A 4×4 tile needs 16 accumulators plus
+// 8 operand values live at once and spills half of them to the stack every
+// iteration (measured ~20% slower than the plain loop); 2×4 needs
+// 8 accumulators + 6 operands = 14 live values and fits.
+//
+// Short edges (M not divisible by 2, N not by 4) are zero-padded at pack
+// time, so the hot kernel never branches on tile width; only the dst
+// write-back distinguishes full from partial tiles.
+//
+// Equivalence contract: every dst element accumulates its k-products in
+// ascending-k order within a panel, panels are visited in ascending-k order,
+// and each worker owns its dst rows outright — so the blocked kernel is
+// bitwise-identical to the straight-line ikj loop whenever K ≤ blockKc, and
+// ULP-close (one regrouping per Kc panel) beyond that. matmul_test.go
+// asserts both.
+const (
+	blockMc = 64  // A-panel rows packed per pass
+	blockKc = 256 // panel depth; K ≤ blockKc keeps accumulation single-panel
+	blockNc = 64  // B-panel columns packed per pass
+
+	// blockedMinElems is the B size (rows*cols) above which MatMulInto takes
+	// the packed path. Below it B stays cache-resident across the whole
+	// product and the pack traffic is pure overhead — the unpacked 4-row
+	// kernel (matMulDenseRange) wins there, measured through 256³. At
+	// 512³ (B = 2 MiB) and beyond, packing wins by keeping the working set
+	// in one Kc×Nc panel.
+	blockedMinElems = 1 << 18
+)
+
+// packBuf holds one worker's pack storage. Buffers are recycled through
+// packPool with the arena's capacity discipline (grow-only, reused across
+// calls, never aliasing caller data), so steady-state MatMulInto performs no
+// heap allocations for packing.
+type packBuf struct {
+	a, b []float64
+}
+
+var packPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+func (pb *packBuf) ensureA(n int) {
+	if cap(pb.a) < n {
+		pb.a = make([]float64, n)
+	} else {
+		pb.a = pb.a[:n]
+	}
+}
+
+func (pb *packBuf) ensureB(n int) {
+	if cap(pb.b) < n {
+		pb.b = make([]float64, n)
+	} else {
+		pb.b = pb.b[:n]
+	}
+}
+
+// matMulBlockedRange computes rows [lo, hi) of dst = a @ b with the packed
+// blocked kernel. Workers calling it on disjoint row ranges touch disjoint
+// dst rows and private pack buffers, so the parallel split needs no
+// synchronization beyond parallelRows' join.
+func matMulBlockedRange(dst, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	pb := packPool.Get().(*packBuf)
+	for jc := 0; jc < p; jc += blockNc {
+		nc := min(blockNc, p-jc)
+		tilesN := (nc + 3) / 4
+		for pc := 0; pc < n; pc += blockKc {
+			kc := min(blockKc, n-pc)
+			pb.ensureB(tilesN * 4 * kc)
+			packBPanel(pb.b, b, pc, kc, jc, nc)
+			add := pc > 0
+			for ic := lo; ic < hi; ic += blockMc {
+				mc := min(blockMc, hi-ic)
+				tilesM := (mc + 1) / 2
+				pb.ensureA(tilesM * 2 * kc)
+				packAPanel(pb.a, a, ic, mc, pc, kc)
+				for ti := 0; ti < tilesM; ti++ {
+					i0 := ic + ti*2
+					mr := min(2, mc-ti*2)
+					ap := pb.a[ti*2*kc : (ti+1)*2*kc]
+					for tj := 0; tj < tilesN; tj++ {
+						j0 := jc + tj*4
+						nr := min(4, nc-tj*4)
+						bp := pb.b[tj*4*kc : (tj+1)*4*kc]
+						if mr == 2 && nr == 4 {
+							d0 := dst.Data[i0*p+j0 : i0*p+j0+4]
+							d1 := dst.Data[(i0+1)*p+j0 : (i0+1)*p+j0+4]
+							microKernel2x4(ap, bp, d0, d1, add)
+						} else {
+							microKernelEdge(ap, bp, kc, dst, i0, j0, mr, nr, add)
+						}
+					}
+				}
+			}
+		}
+	}
+	packPool.Put(pb)
+}
+
+// microKernel2x4 multiplies one packed 2×kc A micro-panel by one packed
+// kc×4 B micro-panel, keeping the 2×4 product tile in eight scalar
+// accumulators, then stores (or, with add, accumulates) it into the two
+// 4-wide dst row windows. The loop carries no index arithmetic and no
+// bounds checks: both panels are consumed by reslicing in lockstep, and
+// each step issues 6 loads and 8 multiply-adds.
+func microKernel2x4(ap, bp []float64, d0, d1 []float64, add bool) {
+	d0 = d0[:4]
+	d1 = d1[:4]
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	for len(ap) >= 2 && len(bp) >= 4 {
+		a0, a1 := ap[0], ap[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ap = ap[2:]
+		bp = bp[4:]
+	}
+	if add {
+		d0[0] += c00
+		d0[1] += c01
+		d0[2] += c02
+		d0[3] += c03
+		d1[0] += c10
+		d1[1] += c11
+		d1[2] += c12
+		d1[3] += c13
+	} else {
+		d0[0] = c00
+		d0[1] = c01
+		d0[2] = c02
+		d0[3] = c03
+		d1[0] = c10
+		d1[1] = c11
+		d1[2] = c12
+		d1[3] = c13
+	}
+}
+
+// microKernelEdge handles tiles short of 2 rows or 4 columns: the packed
+// panels are still full-lane (zero-padded), only the write-back is bounded
+// by the real mr×nr extent. Rare by construction — it runs at most once per
+// panel edge — so it favors clarity over BCE tuning.
+func microKernelEdge(ap, bp []float64, kc int, dst *Matrix, i0, j0, mr, nr int, add bool) {
+	p := dst.Cols
+	for r := 0; r < mr; r++ {
+		drow := dst.Data[(i0+r)*p+j0 : (i0+r)*p+j0+nr]
+		for c := 0; c < nr; c++ {
+			var s float64
+			ai, bi := r, c
+			for k := 0; k < kc; k++ {
+				s += ap[ai] * bp[bi]
+				ai += 2
+				bi += 4
+			}
+			if add {
+				drow[c] += s
+			} else {
+				drow[c] = s
+			}
+		}
+	}
+}
+
+// packAPanel packs rows [i0, i0+mc) × cols [k0, k0+kc) of a into buf as
+// ceil(mc/2) micro-panels of 2 rows × kc columns, k-major within a panel
+// (buf[tile*2*kc + k*2 + lane]); lanes past mc are zero-filled so the
+// micro-kernel always consumes full tiles.
+func packAPanel(buf []float64, a *Matrix, i0, mc, k0, kc int) {
+	n := a.Cols
+	tiles := (mc + 1) / 2
+	for t := 0; t < tiles; t++ {
+		panel := buf[t*2*kc : (t+1)*2*kc]
+		for r := 0; r < 2; r++ {
+			row := t*2 + r
+			if row >= mc {
+				for o := r; o < len(panel); o += 2 {
+					panel[o] = 0
+				}
+				continue
+			}
+			src := a.Data[(i0+row)*n+k0 : (i0+row)*n+k0+kc]
+			o := r
+			for _, v := range src {
+				panel[o] = v
+				o += 2
+			}
+		}
+	}
+}
+
+// packBPanel packs rows [k0, k0+kc) × cols [j0, j0+nc) of b into buf as
+// ceil(nc/4) micro-panels of kc rows × 4 columns, k-major within a panel
+// (buf[tile*4*kc + k*4 + lane]); lanes past nc are zero-filled.
+func packBPanel(buf []float64, b *Matrix, k0, kc, j0, nc int) {
+	p := b.Cols
+	tiles := (nc + 3) / 4
+	for t := 0; t < tiles; t++ {
+		panel := buf[t*4*kc : (t+1)*4*kc]
+		j := j0 + t*4
+		w := min(4, nc-t*4)
+		if w == 4 {
+			for k := 0; k < kc; k++ {
+				brow := b.Data[(k0+k)*p+j : (k0+k)*p+j+4]
+				lane := panel[k*4 : k*4+4]
+				lane[0] = brow[0]
+				lane[1] = brow[1]
+				lane[2] = brow[2]
+				lane[3] = brow[3]
+			}
+			continue
+		}
+		for k := 0; k < kc; k++ {
+			brow := b.Data[(k0+k)*p+j : (k0+k)*p+j+w]
+			lane := panel[k*4 : k*4+4]
+			for c := 0; c < 4; c++ {
+				if c < len(brow) {
+					lane[c] = brow[c]
+				} else {
+					lane[c] = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"taser/internal/mathx"
+)
+
+// matMulRef is the seed repo's skip-based ikj loop, kept verbatim as the
+// equivalence reference for the tiled kernels: per-element accumulation is
+// k-ascending from zero, which is the order the dense, blocked (single
+// panel), and parallel paths all contractually preserve.
+func matMulRef(dst, a, b *Matrix) {
+	n, p := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+func matMulTransBRef(dst, a, b *Matrix, accumulate bool) {
+	n := a.Cols
+	m2 := b.Rows
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*m2 : (i+1)*m2]
+		for j := 0; j < m2; j++ {
+			brow := b.Data[j*n : (j+1)*n]
+			var s float64
+			for k, bv := range brow {
+				s += arow[k] * bv
+			}
+			if accumulate {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
+		}
+	}
+}
+
+func matMulTransARef(dst, a, b *Matrix) {
+	n, p := a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*n+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// bitwiseDiff returns the index of the first element whose float64 bits
+// differ, or -1 when the matrices are bitwise-identical.
+func bitwiseDiff(x, y *Matrix) int {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return 0
+	}
+	for i := range x.Data {
+		if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// withZeros zeroes roughly the given fraction of m's elements (deterministic
+// in the rng), so equivalence tests exercise the dense kernels' multiply-
+// through against the reference's zero-skip.
+func withZeros(m *Matrix, frac float64, rng *mathx.RNG) *Matrix {
+	for i := range m.Data {
+		if rng.Float64() < frac {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+// TestMatMulDenseBitwiseMatchesRef pins the dense-path contract: for every
+// shape (including 4-row remainders and the small-product cutover) and for
+// inputs with exact zeros, MatMulInto is bitwise-identical to the seed loop.
+func TestMatMulDenseBitwiseMatchesRef(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	shapes := [][3]int{
+		{1, 1, 1}, {5, 7, 3}, {8, 16, 8}, {64, 48, 24}, {66, 48, 24},
+		{67, 38, 24}, {127, 24, 48}, {304, 48, 24}, {130, 38, 24},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := withZeros(Randn(m, k, 1, rng), 0.3, rng)
+		b := Randn(k, n, 1, rng)
+		got := New(m, n)
+		MatMulInto(got, a, b)
+		want := New(m, n)
+		matMulRef(want, a, b)
+		if d := bitwiseDiff(got, want); d >= 0 {
+			t.Fatalf("%dx%dx%d: elem %d differs: got %v want %v", m, k, n, d, got.Data[d], want.Data[d])
+		}
+	}
+}
+
+// TestMatMulBlockedBitwiseRefWithinPanel pins the packed kernel's contract
+// for K ≤ blockKc: one Kc panel means no regrouping, so the blocked result
+// is bitwise-identical to the reference, edge tiles included.
+func TestMatMulBlockedBitwiseRefWithinPanel(t *testing.T) {
+	rng := mathx.NewRNG(12)
+	shapes := [][3]int{
+		{3, 5, 2}, {64, 256, 64}, {70, 200, 70}, {65, 37, 9}, {128, 256, 31},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := withZeros(Randn(m, k, 1, rng), 0.2, rng)
+		b := Randn(k, n, 1, rng)
+		got := New(m, n)
+		matMulBlockedRange(got, a, b, 0, m)
+		want := New(m, n)
+		matMulRef(want, a, b)
+		if d := bitwiseDiff(got, want); d >= 0 {
+			t.Fatalf("%dx%dx%d: elem %d differs: got %v want %v", m, k, n, d, got.Data[d], want.Data[d])
+		}
+	}
+}
+
+// TestMatMulBlockedULPBoundedAcrossPanels checks the K > blockKc regime:
+// accumulation regroups once per Kc panel, so results may differ from the
+// reference, but only within a tight relative bound.
+func TestMatMulBlockedULPBoundedAcrossPanels(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	m, k, n := 33, 600, 31
+	a := Randn(m, k, 1, rng)
+	b := Randn(k, n, 1, rng)
+	got := New(m, n)
+	matMulBlockedRange(got, a, b, 0, m)
+	want := New(m, n)
+	matMulRef(want, a, b)
+	for i := range got.Data {
+		diff := math.Abs(got.Data[i] - want.Data[i])
+		if diff > 1e-10*(1+math.Abs(want.Data[i])) {
+			t.Fatalf("elem %d: blocked %v vs ref %v differ beyond panel-regroup bound", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulTransBBitwiseMatchesRef covers the 2×4 tile plus both remainder
+// loops (odd dst rows, dst cols not divisible by 4) and the accumulate form.
+func TestMatMulTransBBitwiseMatchesRef(t *testing.T) {
+	rng := mathx.NewRNG(14)
+	shapes := [][3]int{{1, 5, 1}, {5, 7, 6}, {32, 24, 38}, {33, 24, 39}, {130, 48, 27}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := Randn(m, k, 1, rng)
+		b := Randn(n, k, 1, rng)
+		got := New(m, n)
+		MatMulTransBInto(got, a, b)
+		want := New(m, n)
+		matMulTransBRef(want, a, b, false)
+		if d := bitwiseDiff(got, want); d >= 0 {
+			t.Fatalf("%dx%dx%d: elem %d differs", m, k, n, d)
+		}
+		MatMulTransBAddInto(got, a, b)
+		matMulTransBRef(want, a, b, true)
+		if d := bitwiseDiff(got, want); d >= 0 {
+			t.Fatalf("%dx%dx%d add: elem %d differs", m, k, n, d)
+		}
+	}
+}
+
+// TestMatMulTransABitwiseMatchesRef covers the 4-lane TransA kernel against
+// the seed's skip loop, with whole zero rows (the masked-token case the
+// tile-level skip is built for) and lane remainders.
+func TestMatMulTransABitwiseMatchesRef(t *testing.T) {
+	rng := mathx.NewRNG(15)
+	shapes := [][3]int{{5, 3, 4}, {40, 24, 24}, {41, 25, 23}, {160, 38, 24}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := Randn(m, k, 1, rng)
+		for i := 0; i < m; i += 3 { // mask whole token rows
+			for j := 0; j < k; j++ {
+				a.Data[i*k+j] = 0
+			}
+		}
+		b := Randn(m, n, 1, rng)
+		got := Randn(k, n, 1, rng)
+		want := got.Clone()
+		MatMulTransAInto(got, a, b)
+		matMulTransARef(want, a, b)
+		if d := bitwiseDiff(got, want); d >= 0 {
+			t.Fatalf("(%dx%d)ᵀ@%dx%d: elem %d differs", m, k, m, n, d)
+		}
+	}
+}
+
+// TestMatMulSparseABitwiseMatchesDense pins that the explicit sparse entry
+// point computes the same product as the dense path for finite inputs.
+func TestMatMulSparseABitwiseMatchesDense(t *testing.T) {
+	rng := mathx.NewRNG(16)
+	a := withZeros(Randn(90, 40, 1, rng), 0.8, rng)
+	b := Randn(40, 24, 1, rng)
+	dense := New(90, 24)
+	MatMulInto(dense, a, b)
+	sparse := New(90, 24)
+	MatMulSparseAInto(sparse, a, b)
+	if d := bitwiseDiff(dense, sparse); d >= 0 {
+		t.Fatalf("sparse and dense paths differ at elem %d", d)
+	}
+}
+
+func TestMatMulSparseAShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMulSparseAInto(New(2, 2), New(2, 3), New(2, 3))
+}
+
+// TestMatMulParallelSerialBitwiseAtCrossover forces multiple workers and
+// checks, for every parallelized matmul entry point, that results exactly at
+// and around the parallelThreshold crossover are bitwise-identical to the
+// single-worker run — the row-block ownership contract.
+func TestMatMulParallelSerialBitwiseAtCrossover(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	// m*k*n: 63·32·32 = 64512 (below 1<<16), 64·32·32 = 65536 (at), 65: above.
+	for _, m := range []int{63, 64, 65} {
+		k, n := 32, 32
+		rng := mathx.NewRNG(uint64(17 + m))
+		a := withZeros(Randn(m, k, 1, rng), 0.2, rng)
+		b := Randn(k, n, 1, rng)
+		bt := Randn(n, k, 1, rng)
+		wide := Randn(m, n, 1, rng)
+
+		type result struct{ mm, tb, tba, ta *Matrix }
+		run := func(procs int) result {
+			runtime.GOMAXPROCS(procs)
+			r := result{New(m, n), New(m, n), Randn(m, n, 1, mathx.NewRNG(5)), Randn(k, n, 1, mathx.NewRNG(6))}
+			MatMulInto(r.mm, a, b)
+			MatMulTransBInto(r.tb, a, bt)
+			MatMulTransBAddInto(r.tba, a, bt)
+			MatMulTransAInto(r.ta, a, wide)
+			return r
+		}
+		serial := run(1)
+		parallel := run(4)
+		for _, pair := range []struct {
+			name string
+			s, p *Matrix
+		}{
+			{"MatMulInto", serial.mm, parallel.mm},
+			{"MatMulTransBInto", serial.tb, parallel.tb},
+			{"MatMulTransBAddInto", serial.tba, parallel.tba},
+			{"MatMulTransAInto", serial.ta, parallel.ta},
+		} {
+			if d := bitwiseDiff(pair.s, pair.p); d >= 0 {
+				t.Fatalf("m=%d %s: parallel differs from serial at elem %d", m, pair.name, d)
+			}
+		}
+	}
+}
+
+// TestWorkerLimitTracksGOMAXPROCS is the regression test for the frozen
+// worker count: the kernels must see GOMAXPROCS changes made after package
+// init, on the very next call.
+func TestWorkerLimitTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 3, 2} {
+		runtime.GOMAXPROCS(procs)
+		if got := workerLimit(); got != procs {
+			t.Fatalf("workerLimit() = %d after GOMAXPROCS(%d)", got, procs)
+		}
+	}
+	// parallelRows must fan out to the current width, not the init-time one.
+	runtime.GOMAXPROCS(2)
+	var mu sync.Mutex
+	var chunks [][2]int
+	parallelRows(10, func(lo, hi int) {
+		mu.Lock()
+		chunks = append(chunks, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	if len(chunks) != 2 {
+		t.Fatalf("parallelRows split into %d chunks with GOMAXPROCS=2: %v", len(chunks), chunks)
+	}
+	covered := make([]bool, 10)
+	for _, ch := range chunks {
+		for i := ch[0]; i < ch[1]; i++ {
+			if covered[i] {
+				t.Fatalf("row %d covered twice: %v", i, chunks)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("row %d never covered: %v", i, chunks)
+		}
+	}
+	runtime.GOMAXPROCS(1)
+	chunks = chunks[:0]
+	parallelRows(10, func(lo, hi int) {
+		chunks = append(chunks, [2]int{lo, hi})
+	})
+	if len(chunks) != 1 || chunks[0] != [2]int{0, 10} {
+		t.Fatalf("parallelRows with GOMAXPROCS=1 must run one serial chunk, got %v", chunks)
+	}
+}
+
+func benchMM(b *testing.B, kernel func(dst, a, bb *Matrix), shapes [][3]int) {
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			rng := mathx.NewRNG(99)
+			a := Randn(m, k, 1, rng)
+			bb := Randn(k, n, 1, rng)
+			dst := New(m, n)
+			b.SetBytes(int64(2 * m * k * n)) // MB/s column ≈ 4·MFLOP/s
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel(dst, a, bb)
+			}
+		})
+	}
+}
+
+var benchShapes = [][3]int{{1504, 38, 24}, {1504, 24, 48}, {304, 48, 24}, {256, 256, 256}, {512, 512, 512}}
+
+func BenchmarkMatMul(b *testing.B) { benchMM(b, MatMulInto, benchShapes) }
+func BenchmarkMatMulRef(b *testing.B) {
+	benchMM(b, func(d, x, y *Matrix) { matMulRef(d, x, y) }, benchShapes)
+}

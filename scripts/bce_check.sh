@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Bounds-check-elimination guard for the tensor hot loops.
+#
+# Compiles internal/tensor with -d=ssa/check_bce and diffs the emitted check
+# sites against scripts/bce_allowlist.txt. Every allowlisted site is a
+# per-row / per-tile setup check (slice-length hints, dst write-backs, pack
+# loops); the innermost multiply-add loops carry none. A new site in a hot
+# loop therefore shows up as a diff and fails CI.
+#
+# If the diff is legitimate (a kernel changed shape and its setup checks
+# moved), regenerate the allowlist with:  scripts/bce_check.sh -update
+set -eu
+cd "$(dirname "$0")/.."
+
+allowlist=scripts/bce_allowlist.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+# The compiler emits one "Found IsInBounds"/"Found IsSliceInBounds" line per
+# residual check; the build cache replays diagnostics, so repeated runs are
+# stable. Sort for a canonical order.
+go build -o /dev/null -gcflags='-d=ssa/check_bce' ./internal/tensor/ 2>&1 |
+    grep 'Found Is' | sort -t: -k1,1 -k2,2n >"$current" || true
+
+if [ "${1:-}" = "-update" ]; then
+    cp "$current" "$allowlist"
+    echo "bce_check: allowlist regenerated ($(wc -l <"$allowlist") sites)"
+    exit 0
+fi
+
+if ! diff -u "$allowlist" "$current"; then
+    echo >&2
+    echo "bce_check: FAIL — bounds-check sites in internal/tensor changed." >&2
+    echo "Lines prefixed '+' are new checks (a hot loop may have regressed);" >&2
+    echo "lines prefixed '-' disappeared (update the allowlist)." >&2
+    echo "After verifying no innermost loop regressed: scripts/bce_check.sh -update" >&2
+    exit 1
+fi
+echo "bce_check: OK ($(wc -l <"$allowlist") allowlisted setup sites, hot loops clean)"
