@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-kernels bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke shard-smoke bench-shards bce-check
+.PHONY: all build test bench bench-full bench-ingest bench-alloc bench-kernels bench-finetune bench-recover bench-replicate vet serve loadtest loadtest-http repl-smoke shard-smoke bench-shards bce-check bench-overload overload-smoke
 
 all: build test
 
@@ -81,6 +81,22 @@ bench-recover:
 # and EXPERIMENTS.md.
 bench-replicate:
 	$(GO) run ./cmd/taser-bench -exp replicate
+
+# Overload: open-loop (constant-arrival-rate) burst against a static engine
+# vs one running the SLO controller + admission gate (DESIGN.md §14). The
+# first run offers 2× the calibrated sustainable rate (the collapse-vs-SLO
+# comparison); the second forces the shed path with a far-offered rate and a
+# tiny queue so 429 + Retry-After accounting is exercised (EXPERIMENTS.md).
+bench-overload:
+	$(GO) run ./cmd/taser-bench -exp loadhttp -open
+	$(GO) run ./cmd/taser-bench -exp loadhttp -open -open-rate 10000 -open-queue 4
+
+# Overload smoke test over localhost: flag validation, a taser-serve with
+# tiny admission queues, a parallel burst that must shed with 429 +
+# Retry-After (mirrored in /v1/stats), post-burst recovery, and a SIGTERM
+# mid-burst that must drain cleanly (DESIGN.md §14).
+overload-smoke:
+	bash scripts/overload_smoke.sh
 
 # Two-process replication smoke test over localhost: leader + follower,
 # hard leader kill, promotion, demoted store re-joining (DESIGN.md §11).

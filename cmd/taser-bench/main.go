@@ -49,6 +49,11 @@ func main() {
 		srvAddr    = flag.String("serve-addr", "", "loadhttp: base URL of a live taser-serve (empty = self-host in process)")
 		srvWait    = flag.Duration("serve-wait", 0, "loadhttp: readiness-poll budget for an external server (default 120s)")
 		srvShards  = flag.String("shards", "", "loadhttp: comma-separated shard counts to sweep (self-hosts a K-shard fleet per entry, e.g. 1,2,4)")
+		openLoop   = flag.Bool("open", false, "loadhttp: open-loop overload experiment (static vs adaptive engine, constant-arrival burst)")
+		openRate   = flag.Float64("open-rate", 0, "loadhttp -open: offered burst rate, req/sec (default 2× the calibrated sustainable rate)")
+		openDur    = flag.Duration("open-duration", 0, "loadhttp -open: per-phase duration (default 3s)")
+		openSLO    = flag.Duration("open-slo", 0, "loadhttp -open: adaptive engine's p99 target (default 25ms)")
+		openQueue  = flag.Int("open-queue", 0, "loadhttp -open: adaptive engine's per-lane admission bound (default 64)")
 	)
 	flag.Parse()
 
@@ -61,6 +66,8 @@ func main() {
 		FinetuneEvery:    *ftEvery, FinetuneNegs: *ftNegs, FinetuneLR: *ftLR,
 		FinetunePasses: *ftPasses,
 		ServeAddr:      *srvAddr, ServeWait: *srvWait,
+		OpenLoop: *openLoop, OpenRate: *openRate, OpenDuration: *openDur,
+		OpenSLO: *openSLO, OpenQueue: *openQueue,
 	}
 	if *dsNames != "" {
 		opts.Datasets = strings.Split(*dsNames, ",")

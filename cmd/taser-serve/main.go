@@ -61,6 +61,7 @@ import (
 	"taser/internal/datasets"
 	"taser/internal/finetune"
 	"taser/internal/models"
+	"taser/internal/overload"
 	"taser/internal/replica"
 	"taser/internal/sampler"
 	"taser/internal/serve"
@@ -97,6 +98,11 @@ func main() {
 		ftWindow   = flag.Int("replay-window", 0, "recent events replayed per fine-tune round (0 = finetune default)")
 		ftLR       = flag.Float64("finetune-lr", 0, "fine-tuning learning rate (0 = finetune default)")
 
+		sloP99     = flag.Duration("slo-p99", 0, "p99 latency target: the engine retunes its effective batching against it (0 = controller off)")
+		ovInterval = flag.Duration("overload-interval", 0, "SLO controller decision cadence (0 = default 250ms; requires -slo-p99)")
+		maxQueue   = flag.Int("max-queue", 0, "bounded admission: waiters per priority lane before shedding with 429 (0 = admission off)")
+		ovCap      = flag.Int("overload-capacity", 0, "concurrent requests admitted across lanes (0 = default 2×-max-batch; requires -max-queue)")
+
 		replFrom   = flag.String("replicate-from", "", "run as a read replica tailing this leader base URL (e.g. http://host:8080)")
 		replListen = flag.String("repl-listen", "", "serve the replication endpoints on a dedicated address (default: mounted under /v1/repl/ on -addr)")
 		promote    = flag.Bool("promote", false, "promote immediately after catching up (replica takes over as leader)")
@@ -104,7 +110,18 @@ func main() {
 		lagBound   = flag.Uint64("lag-threshold", 0, "replication lag above which /v1/healthz reports unready (0 = replica default)")
 	)
 	flag.Parse()
-	validateFlags(*walDir, *replFrom, *replListen, *promote, *ftOn, *replay, *shards, *model)
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	if err := validateFlags(flagValues{
+		walDir: *walDir, replFrom: *replFrom, replListen: *replListen,
+		promote: *promote, ftOn: *ftOn, replay: *replay,
+		shards: *shards, model: *model,
+		sloP99: *sloP99, ovInterval: *ovInterval,
+		maxQueue: *maxQueue, ovCap: *ovCap,
+	}, explicit); err != nil {
+		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
+		os.Exit(2)
+	}
 	quantMode, err := models.ParseQuantization(*quant)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taser-serve: %v\n", err)
@@ -139,6 +156,7 @@ func main() {
 		CacheSize: *cacheSize, SnapshotEvery: *snapEvery, LatencyWindow: *latWindow,
 		FinetuneInterval: *ftInterval, ReplayWindow: *ftWindow,
 		Durability: serve.Durability{Dir: *walDir, SyncEvery: *walSync, CheckpointEvery: *ckptEvery},
+		Overload:   overload.Config{TargetP99: *sloP99, Interval: *ovInterval, MaxQueue: *maxQueue, Capacity: *ovCap},
 		Quantize:   quantMode,
 		Seed:       *seed,
 	}
@@ -424,64 +442,86 @@ func runFleet(cfg serve.Config, ds *datasets.Dataset, shards int, addr, walDir s
 	fmt.Println("bye")
 }
 
+// flagValues carries the parsed flag combination validateFlags reasons over
+// (a struct so the table test can enumerate combinations without a flag set).
+type flagValues struct {
+	walDir, replFrom, replListen string
+	promote, ftOn, replay        bool
+	shards                       int
+	model                        string
+	sloP99, ovInterval           time.Duration
+	maxQueue, ovCap              int
+}
+
 // validateFlags fails fast on contradictory flag combinations instead of
 // letting them surface as confusing runtime behavior (a -checkpoint-every
 // that silently does nothing, a -promote with no leader to catch up from).
-func validateFlags(walDir, replFrom, replListen string, promote, ftOn, replay bool, shards int, model string) {
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "taser-serve: "+format+"\n", args...)
-		os.Exit(2)
+// explicit marks flags the user set on the command line — a knob explicitly
+// set to a value that disables it (-slo-p99 0) is a contradiction, while the
+// same value as a default is simply off.
+func validateFlags(v flagValues, explicit map[string]bool) error {
+	fail := fmt.Errorf
+	if v.shards < 1 {
+		return fail("-shards must be at least 1, got %d", v.shards)
 	}
-	explicit := map[string]bool{}
-	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
-	if shards < 1 {
-		fail("-shards must be at least 1, got %d", shards)
-	}
-	if shards > 1 {
+	if v.shards > 1 {
 		// The sharded plane composes with durability (per-shard WALs) but not
 		// yet with replication or online fine-tuning — those wrap a single
 		// engine; DESIGN.md §12 explains why they will compose per-shard.
-		if replFrom != "" {
-			fail("-shards %d cannot combine with -replicate-from: replication wraps a single engine (per-shard replication is future work)", shards)
+		if v.replFrom != "" {
+			return fail("-shards %d cannot combine with -replicate-from: replication wraps a single engine (per-shard replication is future work)", v.shards)
 		}
-		if replListen != "" {
-			fail("-shards %d cannot combine with -repl-listen: a fleet does not ship one WAL (each shard has its own)", shards)
+		if v.replListen != "" {
+			return fail("-shards %d cannot combine with -repl-listen: a fleet does not ship one WAL (each shard has its own)", v.shards)
 		}
-		if promote {
-			fail("-promote requires -replicate-from, which -shards %d excludes", shards)
+		if v.promote {
+			return fail("-promote requires -replicate-from, which -shards %d excludes", v.shards)
 		}
-		if ftOn {
-			fail("-shards %d cannot combine with -finetune: the fine-tuner tails a single engine's stream", shards)
+		if v.ftOn {
+			return fail("-shards %d cannot combine with -finetune: the fine-tuner tails a single engine's stream", v.shards)
 		}
-		if model != "graphmixer" {
-			fail("-shards %d requires -model graphmixer: the endpoint tee keeps one hop shard-locally complete, multi-hop backbones (%s) would read incomplete neighborhoods", shards, model)
+		if v.model != "graphmixer" {
+			return fail("-shards %d requires -model graphmixer: the endpoint tee keeps one hop shard-locally complete, multi-hop backbones (%s) would read incomplete neighborhoods", v.shards, v.model)
 		}
 	}
-	if walDir == "" {
+	if explicit["slo-p99"] && v.sloP99 <= 0 {
+		return fail("-slo-p99 must be a positive duration, got %v", v.sloP99)
+	}
+	if explicit["max-queue"] && v.maxQueue <= 0 {
+		return fail("-max-queue must be positive, got %d (omit the flag to leave admission control off)", v.maxQueue)
+	}
+	if (explicit["overload-interval"] || v.ovInterval != 0) && v.sloP99 <= 0 {
+		return fail("-overload-interval requires -slo-p99 (there is no controller to tick without a target)")
+	}
+	if (explicit["overload-capacity"] || v.ovCap != 0) && v.maxQueue <= 0 {
+		return fail("-overload-capacity requires -max-queue (there is no admission gate without a queue bound)")
+	}
+	if v.walDir == "" {
 		for _, name := range []string{"recover", "wal-sync-every", "checkpoint-every"} {
 			if explicit[name] {
-				fail("-%s requires -wal-dir (durability is off without a store directory)", name)
+				return fail("-%s requires -wal-dir (durability is off without a store directory)", name)
 			}
 		}
-		if replListen != "" {
-			fail("-repl-listen requires -wal-dir (a leader ships its WAL; there is no log without one)")
+		if v.replListen != "" {
+			return fail("-repl-listen requires -wal-dir (a leader ships its WAL; there is no log without one)")
 		}
 	}
-	if replFrom == "" {
-		if promote {
-			fail("-promote requires -replicate-from (only a replica can be promoted)")
+	if v.replFrom == "" {
+		if v.promote {
+			return fail("-promote requires -replicate-from (only a replica can be promoted)")
 		}
 		for _, name := range []string{"failover-after", "lag-threshold"} {
 			if explicit[name] {
-				fail("-%s requires -replicate-from", name)
+				return fail("-%s requires -replicate-from", name)
 			}
 		}
-		return
+		return nil
 	}
-	if ftOn {
-		fail("-finetune cannot run on a replica: weights replicate from the leader's checkpoints")
+	if v.ftOn {
+		return fail("-finetune cannot run on a replica: weights replicate from the leader's checkpoints")
 	}
-	if replay {
-		fail("-replay cannot run on a replica: the stream arrives from the leader")
+	if v.replay {
+		return fail("-replay cannot run on a replica: the stream arrives from the leader")
 	}
+	return nil
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ok is a valid single-engine baseline every case below perturbs.
+func okFlags() flagValues {
+	return flagValues{shards: 1, model: "tgat"}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*flagValues)
+		explicit []string
+		wantErr  string // substring; "" = must pass
+	}{
+		{name: "defaults pass", mutate: nil},
+		{name: "overload fully on", mutate: func(v *flagValues) {
+			v.sloP99 = 25 * time.Millisecond
+			v.ovInterval = 100 * time.Millisecond
+			v.maxQueue = 64
+			v.ovCap = 32
+		}, explicit: []string{"slo-p99", "overload-interval", "max-queue", "overload-capacity"}},
+		{name: "controller alone", mutate: func(v *flagValues) { v.sloP99 = time.Millisecond }, explicit: []string{"slo-p99"}},
+		{name: "admission alone", mutate: func(v *flagValues) { v.maxQueue = 8 }, explicit: []string{"max-queue"}},
+		{name: "sharded overload", mutate: func(v *flagValues) {
+			v.shards = 4
+			v.model = "graphmixer"
+			v.maxQueue = 8
+		}, explicit: []string{"max-queue"}},
+
+		{name: "explicit zero slo", mutate: nil, explicit: []string{"slo-p99"}, wantErr: "-slo-p99 must be a positive duration"},
+		{name: "negative slo", mutate: func(v *flagValues) { v.sloP99 = -time.Second }, explicit: []string{"slo-p99"}, wantErr: "-slo-p99 must be a positive duration"},
+		{name: "explicit zero queue", mutate: nil, explicit: []string{"max-queue"}, wantErr: "-max-queue must be positive"},
+		{name: "interval without target", mutate: func(v *flagValues) { v.ovInterval = time.Second }, explicit: []string{"overload-interval"}, wantErr: "-overload-interval requires -slo-p99"},
+		{name: "capacity without queue", mutate: func(v *flagValues) { v.ovCap = 16 }, explicit: []string{"overload-capacity"}, wantErr: "-overload-capacity requires -max-queue"},
+
+		{name: "zero shards", mutate: func(v *flagValues) { v.shards = 0 }, wantErr: "-shards must be at least 1"},
+		{name: "sharded replica", mutate: func(v *flagValues) {
+			v.shards = 2
+			v.model = "graphmixer"
+			v.replFrom = "http://leader:8080"
+		}, wantErr: "cannot combine with -replicate-from"},
+		{name: "sharded finetune", mutate: func(v *flagValues) {
+			v.shards = 2
+			v.model = "graphmixer"
+			v.ftOn = true
+		}, wantErr: "cannot combine with -finetune"},
+		{name: "sharded tgat", mutate: func(v *flagValues) { v.shards = 2 }, wantErr: "requires -model graphmixer"},
+		{name: "recover without wal", mutate: nil, explicit: []string{"recover"}, wantErr: "-recover requires -wal-dir"},
+		{name: "promote without leader", mutate: func(v *flagValues) { v.promote = true }, wantErr: "-promote requires -replicate-from"},
+		{name: "replica finetune", mutate: func(v *flagValues) {
+			v.replFrom = "http://leader:8080"
+			v.ftOn = true
+		}, wantErr: "-finetune cannot run on a replica"},
+		{name: "replica replay", mutate: func(v *flagValues) {
+			v.replFrom = "http://leader:8080"
+			v.replay = true
+		}, wantErr: "-replay cannot run on a replica"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := okFlags()
+			if tc.mutate != nil {
+				tc.mutate(&v)
+			}
+			explicit := map[string]bool{}
+			for _, name := range tc.explicit {
+				explicit[name] = true
+			}
+			err := validateFlags(v, explicit)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want nil", v, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags(%+v) = %v, want error containing %q", v, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -78,6 +78,17 @@ type Options struct {
 	// throughput from the merged /v1/stats shards[] blocks. Incompatible
 	// with ServeAddr.
 	ServeShards []int
+
+	// OpenLoop switches loadhttp into the open-loop overload experiment: a
+	// constant-arrival-rate timeline (baseline → 2×-sustainable burst →
+	// recovery) driven against a static engine and an engine with the
+	// overload control plane, with per-second offered/completed/shed
+	// accounting (see loadopen.go). Incompatible with ServeAddr/ServeShards.
+	OpenLoop     bool
+	OpenRate     float64       // offered burst rate, req/sec (0 = 2× the calibrated sustainable rate)
+	OpenDuration time.Duration // per-phase duration (default 3s)
+	OpenSLO      time.Duration // adaptive engine's p99 target (default 25ms)
+	OpenQueue    int           // adaptive engine's per-lane admission bound (default 64)
 }
 
 // Normalize fills defaults.

@@ -245,3 +245,28 @@ func TestLoadHTTPSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadOpenSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	// A sub-second timeline at a modest fixed rate: the smoke checks the
+	// open-loop machinery (calibration, per-second accounting, both variant
+	// summary lines), not the overload physics — scripts/overload_smoke.sh
+	// covers those at realistic pressure.
+	o.OpenLoop = true
+	o.OpenRate = 400
+	o.OpenDuration = 300 * time.Millisecond
+	if err := LoadHTTP(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sustainable", "offered burst 400",
+		"OPENLOOP static", "OPENLOOP adaptive",
+		"retry_after_ok=true", "lost=0", "overload plane",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("open-loop output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,9 @@ import (
 // self-contained.
 func LoadHTTP(o Options) error {
 	o = o.Normalize()
+	if o.OpenLoop {
+		return loadOpen(o)
+	}
 	if len(o.ServeShards) > 0 {
 		return loadHTTPShardSweep(o)
 	}

@@ -1,0 +1,180 @@
+package overload
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"taser/internal/stats"
+)
+
+// Decision is one controller step's outcome.
+type Decision int
+
+const (
+	// DecisionHold left the effective values unchanged (p99 in the
+	// comfort band, an empty sample window, or already pinned at a clamp).
+	DecisionHold Decision = iota
+	// DecisionTighten reacted to p99 above target: coalescing wait halved,
+	// batch ceiling doubled (both clamped).
+	DecisionTighten
+	// DecisionRelax stepped additively back toward the configured base
+	// after p99 dropped comfortably under target.
+	DecisionRelax
+)
+
+// ControllerConfig parameterizes the AIMD law. Base values are the
+// operator's static MaxBatch/MaxWait — where the controller starts and what
+// it relaxes back to; BatchCap/WaitFloor are how far tightening may go.
+type ControllerConfig struct {
+	TargetP99 time.Duration
+	BaseBatch int
+	BatchCap  int // >= BaseBatch
+	BaseWait  time.Duration
+	WaitFloor time.Duration // in (0, BaseWait]
+
+	// Sample copies the recent request-latency window (seconds) into dst and
+	// returns it — the engine wires latencyRing.sample here. It must never
+	// block the request path: a copy under the ring's lock, no sorting.
+	Sample func(dst []float64) []float64
+}
+
+// Controller retunes the scheduler's effective MaxBatch/MaxWait against a
+// p99 target with an AIMD law. The physics: under overload the batch is
+// always full, so MaxWait no longer pays for coalescing — cutting it
+// removes pure queueing delay — while a larger MaxBatch amortizes the
+// per-flush fixed cost over more roots, raising throughput to drain the
+// backlog. Both revert additively toward the operator's base once p99 is
+// comfortably under target, so the steady state is the configured behavior,
+// not the emergency one.
+//
+// MaxBatch/MaxWait are lock-free atomic reads — the scheduler loop reads
+// them per request with no coordination. Tick is called by a single owner
+// goroutine (the engine's control loop).
+type Controller struct {
+	cfg    ControllerConfig
+	start  time.Time
+	batch  atomic.Int64
+	waitNs atomic.Int64
+
+	tightened atomic.Uint64
+	relaxed   atomic.Uint64
+	held      atomic.Uint64
+
+	buf []float64 // sample scratch, owned by the ticking goroutine
+}
+
+// NewController validates the config and starts at the base values.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.TargetP99 <= 0 {
+		return nil, fmt.Errorf("overload: controller TargetP99 must be positive, got %v", cfg.TargetP99)
+	}
+	if cfg.BaseBatch <= 0 || cfg.BatchCap < cfg.BaseBatch {
+		return nil, fmt.Errorf("overload: controller needs 0 < BaseBatch <= BatchCap, got %d/%d", cfg.BaseBatch, cfg.BatchCap)
+	}
+	if cfg.BaseWait <= 0 || cfg.WaitFloor <= 0 || cfg.WaitFloor > cfg.BaseWait {
+		return nil, fmt.Errorf("overload: controller needs 0 < WaitFloor <= BaseWait, got %v/%v", cfg.WaitFloor, cfg.BaseWait)
+	}
+	if cfg.Sample == nil {
+		return nil, fmt.Errorf("overload: controller Sample is required")
+	}
+	c := &Controller{cfg: cfg, start: time.Now()}
+	c.batch.Store(int64(cfg.BaseBatch))
+	c.waitNs.Store(int64(cfg.BaseWait))
+	return c, nil
+}
+
+// MaxBatch returns the effective batch ceiling (lock-free).
+func (c *Controller) MaxBatch() int { return int(c.batch.Load()) }
+
+// MaxWait returns the effective coalescing wait (lock-free).
+func (c *Controller) MaxWait() time.Duration { return time.Duration(c.waitNs.Load()) }
+
+// Tick runs one control step: sample the latency window, compute p99, apply
+// the AIMD law. An empty window holds — no evidence, no move.
+func (c *Controller) Tick() Decision {
+	c.buf = c.cfg.Sample(c.buf[:0])
+	if len(c.buf) == 0 {
+		c.held.Add(1)
+		return DecisionHold
+	}
+	p99 := time.Duration(stats.Quantile(c.buf, 0.99) * float64(time.Second))
+	return c.observe(p99)
+}
+
+// observe applies the law to one p99 observation (split from Tick so tests
+// can drive synthetic trajectories).
+func (c *Controller) observe(p99 time.Duration) Decision {
+	b, w := c.batch.Load(), c.waitNs.Load()
+	switch {
+	case p99 > c.cfg.TargetP99:
+		// Multiplicative tighten: halve the wait, double the batch ceiling.
+		nb := min64(b*2, int64(c.cfg.BatchCap))
+		nw := max64(w/2, int64(c.cfg.WaitFloor))
+		if nb == b && nw == w {
+			c.held.Add(1) // pinned at the clamps; nothing left to give
+			return DecisionHold
+		}
+		c.batch.Store(nb)
+		c.waitNs.Store(nw)
+		c.tightened.Add(1)
+		return DecisionTighten
+	case p99 < c.cfg.TargetP99*3/4:
+		// Additive relax toward the operator's base (never past it).
+		nb := max64(b-max64(1, int64(c.cfg.BaseBatch/4)), int64(c.cfg.BaseBatch))
+		nw := min64(w+max64(1, int64(c.cfg.BaseWait/8)), int64(c.cfg.BaseWait))
+		if nb == b && nw == w {
+			c.held.Add(1) // already at base
+			return DecisionHold
+		}
+		c.batch.Store(nb)
+		c.waitNs.Store(nw)
+		c.relaxed.Add(1)
+		return DecisionRelax
+	default:
+		// Comfort band [0.75×target, target]: close enough, don't oscillate.
+		c.held.Add(1)
+		return DecisionHold
+	}
+}
+
+// ControllerStats is the controller's point-in-time summary.
+type ControllerStats struct {
+	TargetP99       time.Duration
+	MaxBatch        int           // current effective batch ceiling
+	MaxWait         time.Duration // current effective coalescing wait
+	Tightened       uint64
+	Relaxed         uint64
+	Held            uint64
+	DecisionsPerSec float64 // decision rate since the controller started
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() ControllerStats {
+	st := ControllerStats{
+		TargetP99: c.cfg.TargetP99,
+		MaxBatch:  c.MaxBatch(),
+		MaxWait:   c.MaxWait(),
+		Tightened: c.tightened.Load(),
+		Relaxed:   c.relaxed.Load(),
+		Held:      c.held.Load(),
+	}
+	if el := time.Since(c.start).Seconds(); el > 0 {
+		st.DecisionsPerSec = float64(st.Tightened+st.Relaxed+st.Held) / el
+	}
+	return st
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"taser/internal/overload"
 )
 
 // Server is the serving surface the HTTP layer mounts: implemented by both
@@ -70,6 +73,9 @@ func NewHandlerConfig(s Server, hc HandlerConfig) http.Handler {
 			return
 		}
 		if err := s.Ingest(req.Src, req.Dst, req.T, req.Feat); err != nil {
+			if writeShed(w, err) {
+				return
+			}
 			code := http.StatusBadRequest
 			switch {
 			case errors.Is(err, ErrStaleEvent):
@@ -108,6 +114,9 @@ func NewHandlerConfig(s Server, hc HandlerConfig) http.Handler {
 		}
 		res, err := s.PredictLink(req.Src, req.Dst, req.T)
 		if err != nil {
+			if writeShed(w, err) {
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -126,6 +135,9 @@ func NewHandlerConfig(s Server, hc HandlerConfig) http.Handler {
 		}
 		res, err := s.Embed(req.Node, req.T)
 		if err != nil {
+			if writeShed(w, err) {
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -176,7 +188,7 @@ func enginePayload(st Stats, liveWM float64, hasLiveWM bool, numNodes int) map[s
 	if !st.LastCheckpoint.IsZero() {
 		ckptAgeMS = time.Since(st.LastCheckpoint).Milliseconds()
 	}
-	return map[string]any{
+	out := map[string]any{
 		"live_watermark": liveWM, "has_live_watermark": hasLiveWM,
 		"requests": st.Requests, "batches": st.Batches,
 		"avg_batch": st.AvgBatch(), "cache_hit_rate": st.CacheHitRate(),
@@ -196,6 +208,12 @@ func enginePayload(st Stats, liveWM float64, hasLiveWM bool, numNodes int) map[s
 		"checkpoint_age_ms": ckptAgeMS,
 		"p50_us":            st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 	}
+	if st.Overload != nil {
+		// Key absent when the control plane is off — part of the bitwise-
+		// identical-when-disabled contract.
+		out["overload"] = overloadPayload(st.Overload)
+	}
+	return out
 }
 
 // statsPayload implements Server.
@@ -257,6 +275,7 @@ func (f *Fleet) statsPayload() map[string]any {
 			}
 			haveCkpt = true
 		}
+		merged.Overload = mergeOverload(merged.Overload, ss.Overload)
 	}
 	merged.Requests = st.Requests
 	merged.WeightVersion = minWV
@@ -282,6 +301,124 @@ func (f *Fleet) statsPayload() map[string]any {
 	}
 	out["shards"] = blocks
 	return out
+}
+
+// writeShed answers an overload rejection with 429 Too Many Requests and a
+// Retry-After header (whole seconds, rounded up, so clients honoring the
+// header never retry early) — distinct from the 503 durability path, which is
+// sticky and not retryable. Returns false when err is not a shed.
+func writeShed(w http.ResponseWriter, err error) bool {
+	var rej *overload.RejectedError
+	if !errors.As(err, &rej) {
+		return false
+	}
+	secs := int64((rej.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": err.Error(), "lane": rej.Lane.String(),
+		"retry_after_ms": rej.RetryAfter.Milliseconds(),
+	})
+	return true
+}
+
+// overloadPayload renders the overload block of /v1/stats (present only when
+// the control plane is on — the disabled payload is bitwise the seed's).
+func overloadPayload(ov *OverloadStats) map[string]any {
+	out := map[string]any{
+		"effective_max_batch":   ov.EffectiveMaxBatch,
+		"effective_max_wait_us": ov.EffectiveMaxWait.Microseconds(),
+	}
+	if c := ov.Controller; c != nil {
+		out["controller"] = map[string]any{
+			"target_p99_us": c.TargetP99.Microseconds(),
+			"tightened":     c.Tightened, "relaxed": c.Relaxed, "held": c.Held,
+			"decisions_per_sec": c.DecisionsPerSec,
+		}
+	}
+	if g := ov.Gate; g != nil {
+		lanes := make(map[string]any, overload.NumLanes)
+		for l := overload.Lane(0); l < overload.NumLanes; l++ {
+			ls := g.Lanes[l]
+			lanes[l.String()] = map[string]any{
+				"queued": ls.Queued, "in_service": ls.InService,
+				"admitted": ls.Admitted, "shed": ls.Shed,
+			}
+		}
+		out["gate"] = map[string]any{
+			"capacity": g.Capacity, "max_queue": g.MaxQueue,
+			"in_service": g.InService, "service_rate": g.ServiceRate,
+			"lanes": lanes,
+		}
+	}
+	return out
+}
+
+// mergeOverload folds one shard's overload stats into the fleet view: counters
+// and capacities sum; the effective batch/wait report the minimum across
+// shards (the most-tightened shard — the fleet's weakest link under pressure).
+func mergeOverload(dst, src *OverloadStats) *OverloadStats {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		cp := *src
+		if src.Controller != nil {
+			c := *src.Controller
+			cp.Controller = &c
+		}
+		if src.Gate != nil {
+			g := *src.Gate
+			cp.Gate = &g
+		}
+		return &cp
+	}
+	if src.EffectiveMaxBatch < dst.EffectiveMaxBatch {
+		dst.EffectiveMaxBatch = src.EffectiveMaxBatch
+	}
+	if src.EffectiveMaxWait < dst.EffectiveMaxWait {
+		dst.EffectiveMaxWait = src.EffectiveMaxWait
+	}
+	if c := src.Controller; c != nil {
+		if dst.Controller == nil {
+			cp := *c
+			dst.Controller = &cp
+		} else {
+			d := dst.Controller
+			d.Tightened += c.Tightened
+			d.Relaxed += c.Relaxed
+			d.Held += c.Held
+			d.DecisionsPerSec += c.DecisionsPerSec
+			if c.MaxBatch < d.MaxBatch {
+				d.MaxBatch = c.MaxBatch
+			}
+			if c.MaxWait < d.MaxWait {
+				d.MaxWait = c.MaxWait
+			}
+		}
+	}
+	if g := src.Gate; g != nil {
+		if dst.Gate == nil {
+			cp := *g
+			dst.Gate = &cp
+		} else {
+			d := dst.Gate
+			d.Capacity += g.Capacity
+			d.InService += g.InService
+			d.ServiceRate += g.ServiceRate
+			for l := range g.Lanes {
+				d.Lanes[l].Queued += g.Lanes[l].Queued
+				d.Lanes[l].InService += g.Lanes[l].InService
+				d.Lanes[l].Admitted += g.Lanes[l].Admitted
+				d.Lanes[l].Shed += g.Lanes[l].Shed
+			}
+		}
+	}
+	return dst
 }
 
 // decode parses the JSON body into dst, writing a 400 on failure.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"taser/internal/overload"
 	"taser/internal/sampler"
 	"taser/internal/tensor"
 )
@@ -89,14 +90,23 @@ func (e *Engine) PredictLink(src, dst int32, t float64) (PredictResult, error) {
 
 // submit validates, enqueues a pooled request, and waits. Once the scheduler
 // has accepted a request it is guaranteed a response, even if Close races
-// with the wait.
+// with the wait. With admission control on, the request first enters the
+// gate's predict lane: a full lane sheds immediately with ErrOverload (the
+// HTTP 429 path) instead of queueing without bound, and the measured latency
+// includes the gate wait — the queueing delay the SLO controller must see.
 func (e *Engine) submit(kind reqKind, src, dst int32, t float64) (response, error) {
 	if src < 0 || int(src) >= e.cfg.NumNodes || (kind == reqPredict && (dst < 0 || int(dst) >= e.cfg.NumNodes)) {
 		return response{}, fmt.Errorf("serve: node id out of range [0, %d)", e.cfg.NumNodes)
 	}
+	start := time.Now() // before the gate: measured latency includes admission wait
+	if e.gate != nil {
+		if err := e.gate.Enter(overload.LanePredict); err != nil {
+			return response{}, gateErr(err)
+		}
+		defer e.gate.Leave(overload.LanePredict)
+	}
 	r := requestPool.Get().(*request)
 	r.kind, r.src, r.dst, r.t = kind, src, dst, t
-	start := time.Now()
 	select {
 	case e.reqs <- r:
 	case <-e.quit:
@@ -113,7 +123,10 @@ func (e *Engine) submit(kind reqKind, src, dst int32, t float64) (response, erro
 // loop is the micro-batching scheduler: it coalesces requests until MaxBatch
 // roots are pending or the oldest pending request has waited MaxWait, then
 // flushes the batch through one pooled build + model forward. On Close it
-// flushes whatever it has accepted and exits.
+// flushes whatever it has accepted and exits. Both thresholds are read
+// through curMaxBatch/curMaxWait — the static config normally, the SLO
+// controller's retuned values when one is attached (lock-free atomic reads,
+// re-read per request so a control decision takes effect mid-stream).
 func (e *Engine) loop() {
 	defer e.wg.Done()
 	var pending []*request
@@ -143,11 +156,11 @@ func (e *Engine) loop() {
 		case r := <-e.reqs:
 			pending = append(pending, r)
 			pendingRoots += r.rootCount()
-			if pendingRoots >= e.cfg.MaxBatch {
+			if pendingRoots >= e.curMaxBatch() {
 				stopTimer()
 				doFlush()
 			} else if len(pending) == 1 {
-				timer.Reset(e.cfg.MaxWait)
+				timer.Reset(e.curMaxWait())
 			}
 		case <-timer.C:
 			if len(pending) > 0 {

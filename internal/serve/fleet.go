@@ -9,6 +9,7 @@ import (
 
 	"taser/internal/autograd"
 	"taser/internal/models"
+	"taser/internal/overload"
 	"taser/internal/tensor"
 	"taser/internal/tgraph"
 )
@@ -214,6 +215,13 @@ func (f *Fleet) targets(src, dst int32) (a, b int, teed bool) {
 // every shard that needs it or on none. The watermark contract is per-shard —
 // an event must be at-or-after the watermark of each shard it lands on, which
 // for an in-(per-shard-)order stream is exactly the single-engine contract.
+//
+// Admission control composes by canonical ownership: the event passes the
+// ingest lane of exactly one gate — the shard owning dst, the copy the fleet
+// counts as canonical — and then applies to both targets ungated. Gating both
+// shards of a tee would be hold-and-wait across two bounded gates (deadlock
+// under crossed floods); gating one bounds the fleet's ingest admission
+// without it, and per-shard shed counters stay attributable to the owner.
 func (f *Fleet) Ingest(src, dst int32, t float64, feat []float64) error {
 	if err := f.enter(); err != nil {
 		return err
@@ -224,6 +232,13 @@ func (f *Fleet) Ingest(src, dst int32, t float64, feat []float64) error {
 	}
 	if f.cfg.EdgeDim > 0 && feat != nil && len(feat) != f.cfg.EdgeDim {
 		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), f.cfg.EdgeDim)
+	}
+	owner := f.ring.Owner(dst)
+	if g := f.shards[owner].gate; g != nil {
+		if err := g.Enter(overload.LaneIngest); err != nil {
+			return &ShardError{Shard: owner, Err: gateErr(err)}
+		}
+		defer g.Leave(overload.LaneIngest)
 	}
 	a, b, teed := f.targets(src, dst)
 	f.shardMu[a].Lock()
@@ -247,11 +262,11 @@ func (f *Fleet) Ingest(src, dst int32, t float64, feat []float64) error {
 			return err
 		}
 	}
-	if err := f.shards[a].Apply(src, dst, t, feat); err != nil {
+	if err := f.shards[a].applyEvent(src, dst, t, feat); err != nil {
 		return &ShardError{Shard: a, Err: err}
 	}
 	if teed {
-		if err := f.shards[b].Apply(src, dst, t, feat); err != nil {
+		if err := f.shards[b].applyEvent(src, dst, t, feat); err != nil {
 			return &ShardError{Shard: b, Err: err}
 		}
 	}

@@ -37,6 +37,7 @@ import (
 
 	"taser/internal/device"
 	"taser/internal/models"
+	"taser/internal/overload"
 	"taser/internal/sampler"
 	"taser/internal/tensor"
 	"taser/internal/tgraph"
@@ -102,6 +103,14 @@ type Config struct {
 	// budget guarded by the serve tests. The zero value serves f64 unchanged.
 	Quantize models.Quantization
 
+	// Overload enables the overload control plane (internal/overload,
+	// DESIGN.md §14): TargetP99 attaches an SLO feedback controller to the
+	// scheduler's effective MaxBatch/MaxWait, MaxQueue bounds admission with
+	// priority lanes (predict over ingest over replication) and typed
+	// ErrOverload shedding. The zero value disables it entirely — the engine
+	// then runs exactly the static-config path, bit for bit.
+	Overload overload.Config
+
 	Seed uint64
 	Xfer *device.XferStats // optional transfer accounting shared with offline runs
 }
@@ -134,6 +143,10 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Durability.Dir != "" && c.Durability.FS == nil {
 		c.Durability.FS = wal.OSFS{}
+	}
+	var err error
+	if c.Overload, err = c.Overload.Normalize(c.MaxBatch, c.MaxWait); err != nil {
+		return c, fmt.Errorf("serve: %w", err)
 	}
 	return c, nil
 }
@@ -231,6 +244,14 @@ type Engine struct {
 	// Apply/ApplyPrefix. Promotion flips it back.
 	readOnly atomic.Bool
 
+	// Overload control plane (internal/overload, DESIGN.md §14). Both nil
+	// when Config.Overload is zero — the anchor guarantee: the disabled
+	// engine runs no overload code on any path. gate bounds admission with
+	// priority lanes; ctrl retunes the scheduler's effective MaxBatch/
+	// MaxWait (read via curMaxBatch/curMaxWait) from the latency ring.
+	gate *overload.Gate
+	ctrl *overload.Controller
+
 	reqs      chan *request
 	quit      chan struct{}
 	wg        sync.WaitGroup
@@ -286,9 +307,73 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.weightVersion.Store(1) // version 1: the weights the engine was built with
 	e.lat.init(cfg.LatencyWindow)
+	if cfg.Overload.AdmissionEnabled() {
+		e.gate = overload.NewGate(cfg.Overload)
+	}
+	if cfg.Overload.ControllerEnabled() {
+		e.ctrl, err = overload.NewController(overload.ControllerConfig{
+			TargetP99: cfg.Overload.TargetP99,
+			BaseBatch: cfg.MaxBatch, BatchCap: cfg.Overload.MaxBatchCap,
+			BaseWait: cfg.MaxWait, WaitFloor: cfg.Overload.MinWait,
+			Sample: e.lat.sample,
+		})
+		if err != nil {
+			if e.wlog != nil {
+				e.wlog.Close()
+			}
+			return nil, err
+		}
+		e.wg.Add(1)
+		go e.controlLoop()
+	}
 	e.wg.Add(1)
 	go e.loop()
 	return e, nil
+}
+
+// controlLoop ticks the SLO controller on its configured cadence. It runs
+// on its own goroutine so a slow quantile computation can never stall the
+// scheduler; the Sample hook is a copy under the latency ring's lock, so it
+// never stalls the request path either.
+func (e *Engine) controlLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.Overload.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-t.C:
+			e.ctrl.Tick()
+		}
+	}
+}
+
+// curMaxBatch returns the scheduler's effective batch ceiling: the SLO
+// controller's when one is attached, the static config otherwise.
+func (e *Engine) curMaxBatch() int {
+	if e.ctrl != nil {
+		return e.ctrl.MaxBatch()
+	}
+	return e.cfg.MaxBatch
+}
+
+// curMaxWait returns the scheduler's effective coalescing wait.
+func (e *Engine) curMaxWait() time.Duration {
+	if e.ctrl != nil {
+		return e.ctrl.MaxWait()
+	}
+	return e.cfg.MaxWait
+}
+
+// gateErr maps a gate failure onto the serving surface: a closed gate is
+// the closed engine (the caller raced Close), everything else — the typed
+// overload rejection — passes through for the HTTP 429 mapping.
+func gateErr(err error) error {
+	if errors.Is(err, overload.ErrGateClosed) {
+		return ErrClosed
+	}
+	return err
 }
 
 // Close shuts the scheduler down after serving every request it has already
@@ -300,8 +385,17 @@ func New(cfg Config) (*Engine, error) {
 // the stream). Ingest after Close fails with ErrDurability on a durable
 // engine and is silently unprotected on a non-durable one, as before. Safe
 // to call multiple times.
+//
+// With admission control on, the gate closes first: requests still queued
+// at the gate get a terminal ErrClosed instead of hanging, while requests
+// already admitted keep their scheduler guarantee — accepted means served —
+// before the quit channel stops the loop. Shed-burst shutdown therefore
+// drains, never wedges (DESIGN.md §14).
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		if e.gate != nil {
+			e.gate.Close()
+		}
 		close(e.quit)
 		e.wg.Wait()
 		if e.wlog != nil {
@@ -335,7 +429,13 @@ func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
 	if e.readOnly.Load() {
 		return fmt.Errorf("%w: ingest (%d→%d) must go to the leader", ErrReadOnly, src, dst)
 	}
-	return e.Apply(src, dst, t, feat)
+	if e.gate != nil {
+		if err := e.gate.Enter(overload.LaneIngest); err != nil {
+			return gateErr(err)
+		}
+		defer e.gate.Leave(overload.LaneIngest)
+	}
+	return e.applyEvent(src, dst, t, feat)
 }
 
 // Apply admits one event exactly like Ingest but bypasses the read-only
@@ -344,7 +444,24 @@ func (e *Engine) Ingest(src, dst int32, t float64, feat []float64) error {
 // through the identical validate→WAL→admit path as leader ingest, so a
 // follower's state is bitwise-equal to the leader's at every applied
 // sequence number. Everything else must call Ingest.
+//
+// With admission control on, Apply rides the low-priority lane: replication
+// catch-up is background work that must never crowd out a follower's read
+// traffic — the read-only lanes stay bounded too (DESIGN.md §14).
 func (e *Engine) Apply(src, dst int32, t float64, feat []float64) error {
+	if e.gate != nil {
+		if err := e.gate.Enter(overload.LaneLow); err != nil {
+			return gateErr(err)
+		}
+		defer e.gate.Leave(overload.LaneLow)
+	}
+	return e.applyEvent(src, dst, t, feat)
+}
+
+// applyEvent is the ungated admit path shared by Ingest, Apply and the
+// fleet's router (which runs its own admission at the canonical owner so a
+// teed event is charged exactly once).
+func (e *Engine) applyEvent(src, dst int32, t float64, feat []float64) error {
 	if e.cfg.EdgeDim > 0 && feat != nil && len(feat) != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: edge feature width %d, want %d", len(feat), e.cfg.EdgeDim)
 	}
@@ -411,15 +528,33 @@ func (e *Engine) Bootstrap(events []tgraph.Event, feats *tensor.Matrix) error {
 	if e.readOnly.Load() {
 		return fmt.Errorf("%w: bootstrap must go to the leader", ErrReadOnly)
 	}
-	return e.ApplyPrefix(events, feats)
+	if e.gate != nil {
+		if err := e.gate.Enter(overload.LaneIngest); err != nil {
+			return gateErr(err)
+		}
+		defer e.gate.Leave(overload.LaneIngest)
+	}
+	return e.applyPrefixCore(events, feats)
 }
 
 // ApplyPrefix bulk-applies an event run exactly like Bootstrap but bypasses
 // the read-only gate — the checkpoint catch-up path of internal/replica,
 // which extends a follower's stream with the suffix of a leader checkpoint
 // under one writer lock and one snapshot publication. Everything else must
-// call Bootstrap.
+// call Bootstrap. Like Apply, it rides the low-priority admission lane.
 func (e *Engine) ApplyPrefix(events []tgraph.Event, feats *tensor.Matrix) error {
+	if e.gate != nil {
+		if err := e.gate.Enter(overload.LaneLow); err != nil {
+			return gateErr(err)
+		}
+		defer e.gate.Leave(overload.LaneLow)
+	}
+	return e.applyPrefixCore(events, feats)
+}
+
+// applyPrefixCore is the ungated bulk-apply path shared by Bootstrap,
+// ApplyPrefix and the fleet's router.
+func (e *Engine) applyPrefixCore(events []tgraph.Event, feats *tensor.Matrix) error {
 	if feats != nil && feats.Cols != e.cfg.EdgeDim {
 		return fmt.Errorf("serve: bootstrap feature width %d, want %d", feats.Cols, e.cfg.EdgeDim)
 	}

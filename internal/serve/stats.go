@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"taser/internal/overload"
 	"taser/internal/stats"
 )
 
@@ -31,6 +32,16 @@ func (r *latencyRing) add(d time.Duration) {
 	}
 	r.buf[r.idx] = d.Seconds()
 	r.idx = (r.idx + 1) % len(r.buf)
+}
+
+// sample copies the retained window into dst and returns it — the SLO
+// controller's Sample hook. Copy-only under the lock: sorting (and any other
+// O(n log n) work) happens in the caller's scratch buffer, so sampling never
+// stalls the request path's add().
+func (r *latencyRing) sample(dst []float64) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(dst[:0], r.buf...)
 }
 
 // quantile returns the q-quantile of the retained window (0 when empty).
@@ -78,7 +89,21 @@ type Stats struct {
 	// ErrReadOnly; see internal/replica).
 	ReadOnly bool
 
+	// Overload is nil unless the overload control plane is on (DESIGN.md
+	// §14) — the disabled engine's stats are bitwise those of the seed.
+	Overload *OverloadStats
+
 	P50, P99 time.Duration // over the recent-latency window
+}
+
+// OverloadStats reports the overload control plane. The effective values are
+// what the scheduler is using right now; with no controller they equal the
+// static config. Controller/Gate are nil for whichever half is disabled.
+type OverloadStats struct {
+	EffectiveMaxBatch int
+	EffectiveMaxWait  time.Duration
+	Controller        *overload.ControllerStats
+	Gate              *overload.GateStats
 }
 
 // CacheHitRate returns hits/(hits+misses), 0 when the cache is off or cold.
@@ -131,6 +156,18 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	s.ReadOnly = e.readOnly.Load()
+	if e.gate != nil || e.ctrl != nil {
+		ov := &OverloadStats{EffectiveMaxBatch: e.curMaxBatch(), EffectiveMaxWait: e.curMaxWait()}
+		if e.ctrl != nil {
+			cs := e.ctrl.Stats()
+			ov.Controller = &cs
+		}
+		if e.gate != nil {
+			gs := e.gate.Stats()
+			ov.Gate = &gs
+		}
+		s.Overload = ov
+	}
 	if snap := e.snap.Load(); snap != nil {
 		s.SnapshotVersion = snap.Version
 		s.Watermark = snap.Watermark
